@@ -1,0 +1,71 @@
+"""Accuracy claims — Xmvp(dmax) truncation error vs the exact Fmmp.
+
+The paper (Sec. 1.2/4, citing [10]):
+
+* ``Xmvp(5)`` yields an approximation error ≈ 10⁻¹⁰ at p = 0.01,
+* smaller ``dmax`` is "usually too low" in accuracy,
+* ``Fmmp`` is exact to floating-point accuracy, while the approximative
+  methods "loose about 5 decimal digits".
+
+We solve the quasispecies problem with Pi(Xmvp(dmax)) for each dmax and
+measure the error of the resulting concentrations against the exact
+Pi(Fmmp) solution.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, Xmvp
+from repro.reporting import format_sci, render_table
+from repro.solvers import PowerIteration
+
+NU = 12
+P = 0.01
+TOL = 1e-13
+
+
+@pytest.fixture(scope="module")
+def solutions():
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=7)
+    exact = PowerIteration(Fmmp(mut, ls), tol=TOL).solve(ls.start_vector(), landscape=ls)
+    errors = {}
+    for dmax in (1, 2, 3, 4, 5, 6, 8, NU):
+        res = PowerIteration(Xmvp(mut, ls, dmax), tol=max(TOL, 1e-12)).solve(
+            ls.start_vector(), landscape=ls
+        )
+        errors[dmax] = float(np.abs(res.concentrations - exact.concentrations).max())
+    return exact, errors
+
+
+def test_xmvp_truncation_accuracy(solutions, benchmark):
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=7)
+    benchmark(
+        lambda: PowerIteration(Xmvp(mut, ls, 5), tol=1e-10).solve(ls.start_vector())
+    )
+
+    exact, errors = solutions
+    rows = [[d, format_sci(e)] for d, e in sorted(errors.items())]
+    txt = render_table(
+        ["dmax", "max |conc error| vs exact"],
+        rows,
+        title=f"Xmvp(dmax) solution accuracy (nu={NU}, p={P}) vs exact Pi(Fmmp)",
+    )
+
+    # Monotone improvement with dmax (down to the solver-tolerance
+    # floor, where ties within a few ulps are expected).
+    ds = sorted(errors)
+    assert all(errors[a] >= errors[b] - 1e-14 for a, b in zip(ds, ds[1:]))
+    # dmax=nu is exact to solver tolerance.
+    assert errors[NU] < 1e-10
+    # The paper's headline numbers: dmax=5 ≈ 1e-10-ish; dmax=1 loses
+    # ~5+ digits relative to that.
+    assert errors[5] < 1e-8, f"dmax=5 error {errors[5]:.2e} (paper ~1e-10)"
+    assert errors[1] > 1e4 * errors[5], "small dmax must be orders of magnitude worse"
+
+    txt += f"\n\ndmax=5 error: {errors[5]:.2e} (paper: ~1e-10); dmax=1: {errors[1]:.2e}"
+    report("xmvp_accuracy", txt)

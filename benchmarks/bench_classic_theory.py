@@ -1,0 +1,96 @@
+"""Ablation — classic first-order theory vs the exact solver.
+
+The pre-fast-solver literature ([5, 17] in the paper) worked from
+closed forms: master fidelity ``Q̄ = (1−p)^ν``, threshold
+``p_max = 1 − σ₀^{−1/ν}``, no-backmutation master frequency
+``(σ₀Q̄ − 1)/(σ₀ − 1)``.  The exact machinery lets us *measure* their
+error across the phase diagram — they are excellent deep in the ordered
+phase and collapse near the threshold, which is precisely the regime
+the paper's solvers open up.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.analysis.approximations import (
+    classic_threshold,
+    no_backmutation_growth,
+    no_backmutation_master_frequency,
+)
+from repro.landscapes import SinglePeakLandscape
+from repro.model.antiviral import find_threshold
+from repro.reporting import render_table
+from repro.solvers import ReducedSolver
+
+NU = 20
+SIGMA = 2.0
+
+
+@pytest.fixture(scope="module")
+def phase_scan():
+    ls = SinglePeakLandscape(NU, SIGMA, 1.0)
+    p_max = classic_threshold(NU, SIGMA)
+    fractions = (0.1, 0.3, 0.5, 0.7, 0.9, 0.97)
+    rows = []
+    for frac in fractions:
+        p = frac * p_max
+        exact = ReducedSolver(NU, p, ls).solve()
+        x0_exact = exact.concentrations[0]
+        x0_theory = no_backmutation_master_frequency(NU, p, SIGMA)
+        lam_theory = no_backmutation_growth(ls, p)
+        rows.append(
+            (
+                frac,
+                p,
+                x0_exact,
+                x0_theory,
+                abs(x0_theory - x0_exact) / x0_exact,
+                exact.eigenvalue,
+                lam_theory,
+            )
+        )
+    return ls, p_max, rows
+
+
+def test_classic_theory_accuracy(phase_scan, benchmark):
+    ls, p_max, rows = phase_scan
+    benchmark(lambda: ReducedSolver(NU, 0.5 * p_max, ls).solve())
+
+    table_rows = [
+        [
+            f"{frac:.2f}",
+            f"{p:.4f}",
+            f"{x0e:.5f}",
+            f"{x0t:.5f}",
+            f"{err:.1%}",
+            f"{lame:.5f}",
+            f"{lamt:.5f}",
+        ]
+        for frac, p, x0e, x0t, err, lame, lamt in rows
+    ]
+    txt = render_table(
+        ["p/p_max", "p", "[G0] exact", "[G0] theory", "rel err", "lambda0 exact", "lambda0 theory"],
+        table_rows,
+        title=f"Classic no-backmutation theory vs exact (single peak, nu={NU}, sigma={SIGMA})",
+    )
+
+    errs = [r[4] for r in rows]
+    # Accurate deep in the ordered phase; degrading monotonically toward
+    # the threshold; useless at its edge.
+    assert errs[0] < 0.02
+    assert all(a <= b + 1e-12 for a, b in zip(errs, errs[1:])), errs
+    assert errs[-1] > 0.25
+
+    # The analytic and bisection-detected thresholds agree within the
+    # finite-size smearing.
+    detected = find_threshold(ls, tol_p=1e-3)
+    assert detected == pytest.approx(p_max, rel=0.25)
+
+    txt += (
+        f"\n\nanalytic p_max = {p_max:.4f}; exact-solver (bisection) p_max = {detected:.4f}"
+        "\nfirst-order theory holds to ~2% deep in the ordered phase and "
+        "collapses near the threshold — the regime where only the exact "
+        "solvers answer."
+    )
+    report("classic_theory_accuracy", txt)

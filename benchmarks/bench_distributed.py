@@ -1,0 +1,156 @@
+"""Future-work artifact — distributed-memory scaling of Pi(Fmmp).
+
+The paper's conclusions: the runtime wall has fallen; the *memory* wall
+is next, and "in the future we will focus on distributed memory
+approaches."  We implement and evaluate that approach over a simulated
+GPU cluster (α–β interconnect model, per-node roofline):
+
+* strong scaling at fixed ν: compute shrinks like 1/R while the
+  hypercube exchanges grow like log₂R — speedup rises and then
+  saturates as the communication fraction takes over;
+* the memory-per-rank column shows the paper's actual goal: chain
+  lengths whose state cannot fit one device become feasible.
+
+Numerics execute for real at the measured sizes (equality with the
+serial solver is asserted in the unit tests); times are modeled.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.distributed import DistributedFmmp
+from repro.distributed.cluster import gpu_cluster
+from repro.mutation import UniformMutation
+from repro.reporting import format_seconds, render_table
+
+NU = 25  # the paper's largest evaluated chain length
+ITERATIONS = 42  # measured iteration count at this tolerance (bench_fig3)
+RANKS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    mut = UniformMutation(NU, 0.01)
+    factors = mut.factors_per_bit()
+    rows = []
+    for r in RANKS:
+        op = DistributedFmmp(gpu_cluster(r), factors)
+        compute = op.compute_time_per_matvec() * ITERATIONS
+        comm = (
+            op.comm_time_per_matvec() + 2.0 * gpu_cluster(r).allreduce_time()
+        ) * ITERATIONS
+        total = compute + comm
+        mem = 8.0 * op.block_size * 3  # x, w, f blocks
+        rows.append((r, compute, comm, total, mem))
+    return rows
+
+
+def test_distributed_strong_scaling(scaling, benchmark):
+    # Benchmarked unit: a real distributed matvec at a feasible size.
+    from repro.distributed import PartitionedVector
+
+    mut = UniformMutation(16, 0.01)
+    op = DistributedFmmp(gpu_cluster(8), mut.factors_per_bit())
+    v = PartitionedVector.scatter(np.random.default_rng(0).random(1 << 16), 8)
+    benchmark(lambda: op.apply(v))
+
+    rows = scaling
+    base_total = rows[0][3]
+    table_rows = []
+    for r, compute, comm, total, mem in rows:
+        table_rows.append(
+            [
+                r,
+                format_seconds(total),
+                format_seconds(compute),
+                format_seconds(comm),
+                f"{base_total / total:.2f}x",
+                f"{mem / 2**20:.1f} MiB",
+            ]
+        )
+    txt = render_table(
+        ["ranks", "total", "compute", "comm", "speedup", "mem/rank"],
+        table_rows,
+        title=f"Distributed Pi(Fmmp) strong scaling (nu={NU}, {ITERATIONS} iterations, "
+        "Tesla-class nodes on QDR IB; modeled)",
+    )
+
+    totals = [row[3] for row in rows]
+    speedups = [base_total / t for t in totals]
+    comms = [row[2] for row in rows]
+
+    # Strong scaling exists but is communication-bound: each of the
+    # log₂R cross stages exchanges the whole block over a link ~35x
+    # slower than device memory — the classic distributed-FFT wall.
+    # (This is presumably why the paper lists "approximative strategies
+    # for a fast matrix vector product" right next to distributed memory
+    # in its future work: cutting cross-stage traffic is the lever.)
+    assert all(a < b for a, b in zip(speedups, speedups[1:])), speedups
+    assert speedups[-1] > 10.0, f"128 ranks must still win >10x: {speedups}"
+    eff = [s / r for s, r in zip(speedups, RANKS)]
+    assert eff[0] == 1.0
+    assert all(a >= b - 1e-12 for a, b in zip(eff, eff[1:])), "efficiency decays"
+    # Comm fraction grows monotonically with ranks.
+    fracs = [c / t for c, t in zip(comms, totals)]
+    assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+    assert fracs[-1] > 0.5, "large clusters are communication-dominated"
+    # Memory per rank falls linearly — the paper's actual target.
+    assert rows[-1][4] == rows[0][4] / RANKS[-1]
+
+    txt += (
+        f"\n\nspeedup is monotone but communication-bound: efficiency "
+        f"{eff[1]:.0%} at 2 ranks -> {eff[-1]:.0%} at {RANKS[-1]} ranks "
+        f"(log2 R full-block exchanges per matvec vs 1/R compute);"
+        f"\nmemory per rank falls {RANKS[-1]}x — the paper's stated goal for "
+        "distributed memory — making chain lengths beyond single-device "
+        "memory feasible at a latency cost."
+    )
+    report("distributed_scaling", txt)
+
+
+def test_distributed_weak_scaling_memory_wall(benchmark):
+    """The memory-wall story: hold the per-rank block at the Tesla
+    C2050's practical limit (~2^27 doubles of state) and grow ν with the
+    cluster — every added hypercube dimension buys one more chain-length
+    unit at near-constant per-rank memory and only log-growing comm."""
+    from repro.mutation import UniformMutation
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # modeled-only artifact
+
+    BLOCK_NU = 27  # ~1 GiB of f64 state per rank: fits the 3 GB card
+    rows = []
+    for r_log in range(0, 8):
+        ranks = 1 << r_log
+        nu = BLOCK_NU + r_log
+        op = DistributedFmmp(gpu_cluster(ranks), UniformMutation(nu, 0.01).factors_per_bit())
+        t_compute = op.compute_time_per_matvec()
+        t_comm = op.comm_time_per_matvec()
+        rows.append(
+            [
+                ranks,
+                nu,
+                f"2^{nu}",
+                f"{8.0 * op.block_size / 2**30:.2f} GiB",
+                format_seconds(t_compute),
+                format_seconds(t_comm),
+            ]
+        )
+    txt = render_table(
+        ["ranks", "nu", "N", "state/rank", "compute/matvec", "comm/matvec"],
+        rows,
+        title="Weak scaling: chain length grows with the cluster at fixed "
+        "per-rank memory (modeled, Tesla-class nodes)",
+    )
+
+    # Per-rank state is exactly constant; compute/matvec grows only
+    # through the extra (cheap) cross stage; comm grows ~linearly in the
+    # hypercube dimension.
+    state_col = {row[3] for row in rows}
+    assert len(state_col) == 1, "constant memory per rank is the whole point"
+    txt += (
+        "\n\nnu = 27 -> 34 (128x more sequences than any single Tesla could "
+        "hold) at constant per-rank memory — the distributed answer to the "
+        "paper's 'main limiting factor is ... the memory requirements'."
+    )
+    report("distributed_weak_scaling", txt)

@@ -1,0 +1,151 @@
+"""Figure 2 — single-CPU-core runtimes of one implicit matvec ``W·x``.
+
+The paper compares, over ν ∈ [10, 25]:
+
+* ``Xmvp(ν)`` — exact XOR product, ``Θ(N²)``-class cost (≡ Smvp),
+* ``Xmvp(1)`` — coarsest possible sparsification, ``Θ(N(ν+1))``,
+* ``Fmmp``   — exact fast product, ``Θ(N log₂ N)``,
+
+with ``O(N²)`` and ``O(N log₂ N)`` guide lines.  The headline shape:
+**Fmmp is exact yet beats even the least-accurate Xmvp(1) from small ν
+onward**, while the exact Xmvp(ν) blows up quadratically.
+
+We measure real NumPy wall-clock where feasible (dense/quadratic
+operators stop where memory/time does — exactly like the truncated
+curves in the paper) and extrapolate along the known complexity laws,
+the paper's own procedure for ν ≥ 22.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, Xmvp
+from repro.perf import ComplexityLaw, fit_and_extend, measure_series
+from repro.reporting import SeriesBundle, format_seconds
+
+P = 0.01
+TARGET_NUS = list(range(10, 26))
+FMMP_NUS = list(range(10, 21))
+XMVP1_NUS = list(range(10, 19))
+XMVPNU_NUS = list(range(10, 14))
+
+
+def _landscape(nu):
+    return RandomLandscape(nu, c=5.0, sigma=1.0, seed=nu)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    fmmp = measure_series(
+        "Fmmp",
+        FMMP_NUS,
+        lambda nu: Fmmp(UniformMutation(nu, P), _landscape(nu)),
+        repeats=3,
+        min_time=0.002,
+    )
+    xmvp1 = measure_series(
+        "Xmvp(1)",
+        XMVP1_NUS,
+        lambda nu: Xmvp(UniformMutation(nu, P), _landscape(nu), 1),
+        repeats=3,
+        min_time=0.002,
+    )
+    xmvp_nu = measure_series(
+        "Xmvp(nu)",
+        XMVPNU_NUS,
+        lambda nu: Xmvp(UniformMutation(nu, P), _landscape(nu), nu),
+        repeats=2,
+        min_time=0.0,
+        budget_s=5.0,
+    )
+    return fmmp, xmvp1, xmvp_nu
+
+
+def test_fig2_matvec_runtimes(measured, benchmark):
+    fmmp, xmvp1, xmvp_nu = measured
+
+    # pytest-benchmark timing of the headline operator at a mid-size ν.
+    op = Fmmp(UniformMutation(16, P), _landscape(16))
+    v = _landscape(16).start_vector()
+    benchmark(lambda: op.matvec(v))
+
+    # --- extrapolate along the complexity laws (paper's procedure) ----
+    full_fmmp = fit_and_extend(ComplexityLaw.N_LOG2_N, fmmp.nus, fmmp.seconds, TARGET_NUS)
+    xmvp1_law = lambda nu: float(1 << nu) * (nu + 1)
+    full_x1 = fit_and_extend(xmvp1_law, xmvp1.nus, xmvp1.seconds, TARGET_NUS)
+    full_xn = fit_and_extend(ComplexityLaw.N_SQUARED, xmvp_nu.nus, xmvp_nu.seconds, TARGET_NUS)
+
+    bundle = SeriesBundle("Fig. 2: matvec runtimes, 1 CPU core [s]", x_label="nu")
+    bundle.add_mapping("Xmvp(nu)", dict(zip(TARGET_NUS, full_xn)))
+    bundle.add_mapping("Xmvp(1)", dict(zip(TARGET_NUS, full_x1)))
+    bundle.add_mapping("Fmmp", dict(zip(TARGET_NUS, full_fmmp)))
+    guide_n2 = fit_and_extend(ComplexityLaw.N_SQUARED, xmvp_nu.nus, xmvp_nu.seconds, TARGET_NUS)
+    guide_nlogn = fit_and_extend(ComplexityLaw.N_LOG2_N, fmmp.nus, fmmp.seconds, TARGET_NUS)
+    bundle.add_mapping("O(N^2) guide", dict(zip(TARGET_NUS, guide_n2)))
+    bundle.add_mapping("O(NlogN) guide", dict(zip(TARGET_NUS, guide_nlogn)))
+
+    rows = []
+    for i, nu in enumerate(TARGET_NUS):
+        measured_marks = (
+            "m" if nu in fmmp.nus else "e",
+            "m" if nu in xmvp1.nus else "e",
+            "m" if nu in xmvp_nu.nus else "e",
+        )
+        rows.append(
+            [
+                nu,
+                format_seconds(full_xn[i]) + f" ({measured_marks[2]})",
+                format_seconds(full_x1[i]) + f" ({measured_marks[1]})",
+                format_seconds(full_fmmp[i]) + f" ({measured_marks[0]})",
+            ]
+        )
+    from repro.reporting import render_table
+
+    txt = render_table(
+        ["nu", "Xmvp(nu)", "Xmvp(1)", "Fmmp"],
+        rows,
+        title="Fig. 2 — W·x runtimes, single CPU core (m=measured, e=extrapolated)",
+    )
+
+    # --------------------------- shape assertions ---------------------
+    # 1. Fmmp (exact!) runs within a small constant factor of the
+    #    *least accurate* Xmvp(1) and shares its slope.  The paper's C
+    #    implementation puts Fmmp strictly ahead from small ν; NumPy's
+    #    vectorized gathers carry less bookkeeping than the authors'
+    #    Xmvp code, so here the constant is near 1 and the crossover
+    #    point (driven by cache effects on the gathers, which the paper
+    #    itself cites) is machine/noise-dependent — we assert the ratio
+    #    band and *report* the measured crossover.
+    common = sorted(set(fmmp.nus) & set(xmvp1.nus))
+    ratios = {
+        nu: fmmp.seconds[fmmp.nus.index(nu)] / xmvp1.seconds[xmvp1.nus.index(nu)]
+        for nu in common
+    }
+    tail = [ratios[nu] for nu in common[-4:]]
+    assert all(0.2 < r < 4.0 for r in tail), (
+        f"Fmmp and Xmvp(1) must share slope (bounded ratio): {ratios}"
+    )
+    wins = {nu: r < 1.0 for nu, r in ratios.items()}
+    crossover = min((nu for nu, w in wins.items() if w), default=None)
+
+    # 2. Exact Xmvp(nu) is orders of magnitude slower at nu = 25.
+    assert full_xn[-1] / full_fmmp[-1] > 1e3
+
+    # 3. Growth shapes: per-doubling ratio of Fmmp ≈ 2·(ν+1)/ν (N log N),
+    #    of Xmvp(nu) ≈ 4 (N²).  Check measured tails loosely.
+    f_ratio = fmmp.seconds[-1] / fmmp.seconds[-2]
+    assert 1.5 < f_ratio < 3.5, f"Fmmp per-nu growth {f_ratio}"
+    x_ratio = xmvp_nu.seconds[-1] / xmvp_nu.seconds[-2]
+    assert 2.5 < x_ratio < 7.0, f"Xmvp(nu) per-nu growth {x_ratio}"
+
+    txt += (
+        f"\n\nFmmp/Xmvp(1) time ratios: "
+        + ", ".join(f"nu={nu}: {r:.2f}" for nu, r in ratios.items())
+        + f"\nfirst measured Fmmp win over Xmvp(1): "
+        + (f"nu = {crossover}" if crossover is not None else "none in range (NumPy constant factors; see EXPERIMENTS.md)")
+    )
+    txt += f"\nXmvp(nu)/Fmmp time ratio at nu=25 (extrapolated): {full_xn[-1] / full_fmmp[-1]:.2e}"
+    report("fig2_matvec_runtimes", txt, csv=bundle.to_csv())

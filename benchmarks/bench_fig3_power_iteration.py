@@ -1,0 +1,166 @@
+"""Figure 3 — end-to-end GPU power-iteration times.
+
+Paper setup: Tesla C2050, p = 0.01, random landscape (Eq. 13, c = 5,
+σ = 1), ν ∈ [10, 25]; overall times *including* host↔device transfers;
+τ = 10⁻¹⁵ for the exact products, 10⁻¹⁰ for Xmvp(5).  The shape:
+``Pi(Fmmp) ≪ Pi(Xmvp(5)) ≪ Pi(Xmvp(ν))``, with the gaps widening in ν.
+
+Reproduction methodology (see DESIGN.md substitution table):
+
+1. iteration counts are *measured* with the real solver at ν ≤ 16 and
+   extrapolated linearly (they grow ≈ +1 per 2ν on these landscapes);
+2. per-run times come from :class:`repro.perf.model.PipelineCostModel`
+   on the Tesla C2050 profile — the analytic twin of the simulated
+   device, which test_perf.py pins to the simulator exactly;
+3. the model is cross-checked here against a full simulated-device run
+   at ν = 12 for both operators.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.device import Device, DevicePowerIteration, TESLA_C2050
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp
+from repro.perf import PipelineCostModel
+from repro.reporting import SeriesBundle, format_seconds, render_table
+from repro.solvers import PowerIteration
+
+P = 0.01
+TARGET_NUS = list(range(10, 26))
+MEASURE_NUS = list(range(10, 17))
+TOL_EXACT = 1e-14  # float64 floor for the paper's 1e-15
+TOL_APPROX = 1e-10
+
+
+def _landscape(nu):
+    return RandomLandscape(nu, c=5.0, sigma=1.0, seed=nu)
+
+
+def _measure_iterations(tol):
+    counts = {}
+    for nu in MEASURE_NUS:
+        ls = _landscape(nu)
+        op = Fmmp(UniformMutation(nu, P), ls)
+        res = PowerIteration(op, tol=tol, max_iterations=20_000).solve(ls.start_vector())
+        counts[nu] = res.iterations
+    return counts
+
+
+def _extend_iterations(counts):
+    """Linear extrapolation of the measured counts over TARGET_NUS."""
+    nus = np.array(sorted(counts))
+    vals = np.array([counts[n] for n in nus], dtype=float)
+    slope, intercept = np.polyfit(nus, vals, 1)
+    out = {}
+    for nu in TARGET_NUS:
+        out[nu] = int(counts.get(nu, round(slope * nu + intercept)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def iteration_counts():
+    return (
+        _extend_iterations(_measure_iterations(TOL_EXACT)),
+        _extend_iterations(_measure_iterations(TOL_APPROX)),
+    )
+
+
+def test_fig3_model_matches_simulated_device(iteration_counts, benchmark):
+    """Cross-check: the analytic Fig. 3 numbers equal a full simulated
+    run of the device pipeline (kernels actually executed)."""
+    nu = 10
+    mut = UniformMutation(nu, P)
+    ls = _landscape(nu)
+
+    def run_fmmp():
+        dev = Device(TESLA_C2050, record_launches=False)
+        return DevicePowerIteration(dev, mut, ls, operator="fmmp", tol=TOL_EXACT).run()
+
+    rep = benchmark.pedantic(run_fmmp, rounds=2, iterations=1)
+    model_t = PipelineCostModel(nu, "fmmp").total_time(TESLA_C2050, rep.result.iterations)
+    assert model_t == pytest.approx(rep.modeled_total_s, rel=1e-9)
+
+    dev = Device(TESLA_C2050, record_launches=False)
+    rep5 = DevicePowerIteration(dev, mut, ls, operator="xmvp", dmax=5, tol=TOL_APPROX).run()
+    model5 = PipelineCostModel(nu, "xmvp", 5).total_time(TESLA_C2050, rep5.result.iterations)
+    assert model5 == pytest.approx(rep5.modeled_total_s, rel=1e-9)
+
+
+def test_fig3_gpu_power_iteration_times(iteration_counts, benchmark):
+    iters_exact, iters_approx = iteration_counts
+
+    # Benchmark the real measured unit of Fig. 3: one host power
+    # iteration on the fast operator at a mid-size ν.
+    ls = _landscape(14)
+    op = Fmmp(UniformMutation(14, P), ls)
+    benchmark(lambda: PowerIteration(op, tol=TOL_EXACT).solve(ls.start_vector()))
+
+    # Xmvp series use the fused (one-kernel-per-matvec, register
+    # accumulator) model — the natural OpenCL implementation the paper
+    # ran; the per-mask-launch variant our simulator executes is ~3x
+    # slower still (see PipelineCostModel.fused_xmvp).
+    series = {"Pi(Xmvp(nu))": {}, "Pi(Xmvp(5))": {}, "Pi(Fmmp)": {}}
+    for nu in TARGET_NUS:
+        series["Pi(Xmvp(nu))"][nu] = PipelineCostModel(
+            nu, "xmvp", nu, fused_xmvp=True
+        ).total_time(TESLA_C2050, iters_exact[nu])
+        series["Pi(Xmvp(5))"][nu] = PipelineCostModel(
+            nu, "xmvp", 5, fused_xmvp=True
+        ).total_time(TESLA_C2050, iters_approx[nu])
+        series["Pi(Fmmp)"][nu] = PipelineCostModel(nu, "fmmp").total_time(
+            TESLA_C2050, iters_exact[nu]
+        )
+
+    bundle = SeriesBundle("Fig. 3: GPU overall execution times [s]", x_label="nu")
+    for label, data in series.items():
+        bundle.add_mapping(label, data)
+
+    rows = [
+        [
+            nu,
+            format_seconds(series["Pi(Xmvp(nu))"][nu]),
+            format_seconds(series["Pi(Xmvp(5))"][nu]),
+            format_seconds(series["Pi(Fmmp)"][nu]),
+            iters_exact[nu],
+        ]
+        for nu in TARGET_NUS
+    ]
+    txt = render_table(
+        ["nu", "Pi(Xmvp(nu))", "Pi(Xmvp(5))", "Pi(Fmmp)", "iters"],
+        rows,
+        title="Fig. 3 — overall power iteration times on Tesla C2050 "
+        "(p=0.01, random landscape c=5, sigma=1; transfers included)",
+    )
+
+    # ------------------------------ shape assertions ------------------
+    # Strict ordering from ν ≥ 12; at the left edge of the figure the
+    # curves nearly touch (launch-overhead regime + Xmvp(5)'s looser
+    # τ = 1e-10), as in the paper's plot.
+    for nu in TARGET_NUS:
+        assert series["Pi(Xmvp(5))"][nu] < series["Pi(Xmvp(nu))"][nu], f"nu={nu}"
+        if nu >= 12:
+            assert series["Pi(Fmmp)"][nu] < series["Pi(Xmvp(5))"][nu], f"nu={nu}"
+        else:
+            assert series["Pi(Fmmp)"][nu] < 1.5 * series["Pi(Xmvp(5))"][nu], f"nu={nu}"
+
+    # Paper conclusions: Fmmp vs the approximative method ≈ 250× at
+    # ν = 25; vs the exact standard product ≈ 10⁷ (together with Fig. 4).
+    # Our pure-roofline model does not charge Fmmp for the uncoalesced
+    # access of its small-span stages on real GPUs, so it puts the
+    # ratio somewhat above the measured 250 — same winner, same slope,
+    # factor within one order (documented in EXPERIMENTS.md).
+    r_approx = series["Pi(Xmvp(5))"][25] / series["Pi(Fmmp)"][25]
+    r_exact = series["Pi(Xmvp(nu))"][25] / series["Pi(Fmmp)"][25]
+    assert 100 <= r_approx <= 5000, f"Xmvp(5)/Fmmp at nu=25: {r_approx:.0f} (paper ~250)"
+    assert r_exact >= 1e5, f"Xmvp(nu)/Fmmp at nu=25: {r_exact:.2e} (paper ~1e7)"
+
+    # Gap widens with ν (different slopes).
+    r10 = series["Pi(Xmvp(5))"][10] / series["Pi(Fmmp)"][10]
+    assert r_approx > 5 * r10
+
+    txt += f"\n\nPi(Xmvp(5))/Pi(Fmmp) at nu=25: {r_approx:.0f}x   (paper: ~250x)"
+    txt += f"\nPi(Xmvp(nu))/Pi(Fmmp) at nu=25: {r_exact:.2e}x (paper: ~1e7 incl. hardware)"
+    report("fig3_gpu_power_iteration", txt, csv=bundle.to_csv())

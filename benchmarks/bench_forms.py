@@ -1,0 +1,87 @@
+"""Ablation — the three equivalent eigenproblem forms (Eqs. 3–5).
+
+The paper observes that the right (``Q·F``), symmetric (``F^½QF^½``) and
+left (``F·Q``) formulations are similar matrices, so any may be chosen;
+Sec. 3 exploits the freedom by picking the symmetric one when symmetry
+helps.  This ablation measures what the choice actually costs/buys with
+the power iteration: identical spectra and identical concentrations
+(asserted), identical iteration counts (same eigenvalue ratios!), and
+only the diagonal-scaling overhead differing.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp
+from repro.reporting import format_seconds, render_table
+from repro.solvers import PowerIteration
+
+NU = 14
+P = 0.01
+TOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def form_results():
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=44)
+    out = {}
+    for form in ("right", "symmetric", "left"):
+        op = Fmmp(mut, ls, form=form)
+        t0 = time.perf_counter()
+        res = PowerIteration(op, tol=TOL).solve(
+            ls.start_vector(), landscape=ls, form=form
+        )
+        out[form] = (res, time.perf_counter() - t0, op.costs())
+    return out
+
+
+def test_eigenproblem_forms(form_results, benchmark):
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=44)
+    op = Fmmp(mut, ls, form="symmetric")
+    benchmark(lambda: PowerIteration(op, tol=TOL).solve(ls.start_vector()))
+
+    out = form_results
+    rows = []
+    for form, (res, dt, costs) in out.items():
+        rows.append(
+            [
+                form,
+                f"{res.eigenvalue:.12f}",
+                res.iterations,
+                format_seconds(dt),
+                f"{costs.flops:.3g}",
+            ]
+        )
+    txt = render_table(
+        ["form", "lambda_0", "iterations", "time", "flops/matvec"],
+        rows,
+        title=f"Eqs. (3)-(5) — the three equivalent eigenproblem forms (nu={NU}, p={P})",
+    )
+
+    ref = out["right"][0]
+    for form, (res, _, _) in out.items():
+        # Similar matrices: same eigenvalue ...
+        assert res.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-9), form
+        # ... and, after the F^{±1/2} conversions, same concentrations.
+        np.testing.assert_allclose(
+            res.concentrations, ref.concentrations, atol=1e-8, err_msg=form
+        )
+    # Same spectrum ⇒ same convergence ratio ⇒ (nearly) same iterations.
+    iters = [res.iterations for res, _, _ in out.values()]
+    assert max(iters) - min(iters) <= max(3, int(0.1 * max(iters)))
+    # The symmetric form pays one extra diagonal pass per matvec.
+    assert out["symmetric"][2].flops > out["right"][2].flops
+
+    txt += (
+        "\n\nAll three forms deliver the same eigenpair with (nearly) the same "
+        "iteration count — the choice only buys structure: 'symmetric' "
+        "enables Lanczos/deflation at one extra diagonal pass per matvec."
+    )
+    report("eigenproblem_forms", txt)

@@ -1,0 +1,90 @@
+"""Section 5.2 — Kronecker landscape decoupling.
+
+Claims reproduced:
+
+* with ``F = ⊗ F_{G_i}`` the 2^ν problem splits into ``g`` independent
+  2^{ν/g} problems — we solve ν = 24 as 3×(ν = 8) and ν = 100 as
+  10×(ν = 10), sizes far beyond the full solvers;
+* the decoupled solution is exact (checked against the full solver at a
+  size where both run);
+* the implicit eigenvector answers error-class min/max queries — the
+  paper's proposed error-threshold diagnostic — without materializing.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import KroneckerLandscape, TabulatedLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp
+from repro.reporting import format_seconds, render_table
+from repro.solvers import KroneckerSolver, PowerIteration
+
+P = 0.01
+
+
+def _kron_landscape(nu, g, seed):
+    rng = np.random.default_rng(seed)
+    bits = nu // g
+    return KroneckerLandscape([rng.random(1 << bits) + 0.5 for _ in range(g)])
+
+
+def test_kronecker_exact_vs_full(benchmark):
+    """At ν = 16 both paths run: they must agree to machine precision."""
+    nu, g = 16, 2
+    kl = _kron_landscape(nu, g, 1)
+    mut = UniformMutation(nu, P)
+    res = benchmark(lambda: KroneckerSolver(mut, kl).solve())
+    full_ls = TabulatedLandscape(kl.values())
+    full = PowerIteration(Fmmp(mut, full_ls), tol=1e-13).solve(
+        full_ls.start_vector(), landscape=full_ls
+    )
+    assert res.eigenvalue == pytest.approx(full.eigenvalue, rel=1e-10)
+    np.testing.assert_allclose(
+        res.eigenvector.class_concentrations(),
+        full.error_class_concentrations(nu),
+        atol=1e-10,
+    )
+
+
+def test_kronecker_decoupling_scale(benchmark):
+    rows = []
+    # (nu, g): the right column is what a full solver would need.
+    for nu, g, seed in ((16, 2, 1), (24, 3, 2), (48, 6, 3), (100, 10, 4)):
+        kl = _kron_landscape(nu, g, seed)
+        mut = UniformMutation(nu, P)
+        t0 = time.perf_counter()
+        res = KroneckerSolver(mut, kl).solve()
+        dt = time.perf_counter() - t0
+        assert res.converged
+        gamma = res.eigenvector.class_concentrations()
+        np.testing.assert_allclose(gamma.sum(), 1.0, atol=1e-8)
+        lo, hi = res.eigenvector.class_extrema()
+        assert np.all(lo[1:-1] <= hi[1:-1] + 1e-18)
+        rows.append(
+            [
+                nu,
+                f"{g} x 2^{nu // g}",
+                f"2^{nu} = {2.0**nu:.1e}",
+                format_seconds(dt),
+                f"{gamma[: min(3, nu)].sum():.3e}",
+            ]
+        )
+
+    benchmark(lambda: KroneckerSolver(UniformMutation(24, P), _kron_landscape(24, 3, 2)).solve())
+
+    txt = render_table(
+        ["nu", "subproblems", "full size", "time", "[G0..G2] mass"],
+        rows,
+        title="Sec. 5.2 — Kronecker decoupling: g subproblems of size 2^(nu/g) "
+        "instead of one 2^nu problem (p=0.01)",
+    )
+    txt += (
+        "\n\nnu=100 (the paper's example of an existing-virus chain length, "
+        "'by far out of reach of any currently available computational technology' "
+        "for general landscapes) solved implicitly via 10 x 2^10 subproblems."
+    )
+    report("kronecker_decoupling", txt)

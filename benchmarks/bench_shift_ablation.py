@@ -1,0 +1,76 @@
+"""Section 3 claim — the conservative shift saves ≳10 % of iterations.
+
+"Although this choice of the shift μ is very conservative, using it
+results in a clearly measurable reduction of the number of iterations of
+about ten percent and more for the random landscapes we considered."
+
+Ablation: run Pi(Fmmp) with and without μ = (1−2p)^ν·f_min over several
+random landscapes (Eq. 13) and error rates, and compare iteration counts.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, ShiftedOperator
+from repro.operators.shifted import conservative_shift
+from repro.reporting import render_table
+from repro.solvers import PowerIteration
+
+NU = 12
+TOL = 1e-12
+SEEDS = (1, 2, 3, 4, 5)
+ERROR_RATES = (0.005, 0.01, 0.02)
+
+
+def _iterations(mut, ls, mu):
+    op = Fmmp(mut, ls)
+    if mu:
+        op = ShiftedOperator(op, mu)
+    return PowerIteration(op, tol=TOL, max_iterations=50_000).solve(ls.start_vector()).iterations
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    rows = []
+    for p in ERROR_RATES:
+        for seed in SEEDS:
+            mut = UniformMutation(NU, p)
+            ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=seed)
+            mu = conservative_shift(mut, ls)
+            plain = _iterations(mut, ls, 0.0)
+            shifted = _iterations(mut, ls, mu)
+            rows.append((p, seed, mu, plain, shifted, 1.0 - shifted / plain))
+    return rows
+
+
+def test_shift_ablation(ablation, benchmark):
+    mut = UniformMutation(NU, 0.01)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=1)
+    mu = conservative_shift(mut, ls)
+    benchmark(
+        lambda: PowerIteration(ShiftedOperator(Fmmp(mut, ls), mu), tol=TOL).solve(
+            ls.start_vector()
+        )
+    )
+
+    rows = ablation
+    table_rows = [
+        [f"{p:.3f}", seed, f"{mu:.3e}", plain, shifted, f"{saving:.1%}"]
+        for p, seed, mu, plain, shifted, saving in rows
+    ]
+    savings = np.array([r[-1] for r in rows])
+    txt = render_table(
+        ["p", "seed", "mu", "iters plain", "iters shifted", "saving"],
+        table_rows,
+        title="Sec. 3 ablation — conservative shift mu = (1-2p)^nu * fmin "
+        f"(nu={NU}, random landscapes Eq. 13, tol={TOL:g})",
+    )
+    txt += f"\n\nmean saving: {savings.mean():.1%}  min: {savings.min():.1%}  (paper: ~10% and more)"
+
+    # Every configuration improves; the average saving is >= 10 %.
+    assert all(r[4] < r[3] for r in rows), "shift must never increase iterations"
+    assert savings.mean() >= 0.10, f"mean saving {savings.mean():.1%} below the paper's ~10%"
+    report("shift_ablation", txt)

@@ -1,0 +1,90 @@
+"""Section 3 ablation — solver choice: power iteration vs the
+alternatives the paper weighs.
+
+The paper argues power iteration gives "the best balance between storage
+requirements and accuracy": Lanczos converges in fewer matvecs but keeps
+a basis of length-N vectors; shift-and-invert methods converge fastest
+but need inner solves.  This bench measures all three trade-off axes
+(matvecs, extra storage, wall-clock) on the same problem.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, ShiftedOperator
+from repro.operators.shifted import conservative_shift
+from repro.reporting import format_seconds, render_table
+from repro.solvers import Lanczos, PowerIteration, cg_inverse_iteration
+
+NU = 12
+P = 0.01
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def results():
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=17)
+    sym = Fmmp(mut, ls, form="symmetric")
+    start = np.sqrt(ls.values())
+
+    out = {}
+
+    t0 = time.perf_counter()
+    pi = PowerIteration(sym, tol=TOL).solve(start, landscape=ls, form="symmetric")
+    out["power iteration"] = (pi, time.perf_counter() - t0, pi.iterations, 1)
+
+    mu = conservative_shift(mut, ls)
+    t0 = time.perf_counter()
+    pis = PowerIteration(ShiftedOperator(sym, mu), tol=TOL).solve(
+        start, landscape=ls, form="symmetric"
+    )
+    out["shifted power"] = (pis, time.perf_counter() - t0, pis.iterations, 1)
+
+    t0 = time.perf_counter()
+    lz = Lanczos(sym, tol=TOL).solve(start, landscape=ls, form="symmetric")
+    out["Lanczos"] = (lz, time.perf_counter() - t0, lz.iterations, lz.iterations + 1)
+
+    t0 = time.perf_counter()
+    inv = cg_inverse_iteration(sym, start=start, mu=ls.fmax * 1.05, tol=TOL)
+    out["CG inverse iteration"] = (inv, time.perf_counter() - t0, inv.iterations, 4)
+
+    return ls, out
+
+
+def test_solver_tradeoffs(results, benchmark):
+    ls, out = results
+    mut = UniformMutation(NU, P)
+    sym = Fmmp(mut, ls, form="symmetric")
+    benchmark(
+        lambda: PowerIteration(sym, tol=TOL).solve(np.sqrt(ls.values()))
+    )
+
+    ref = out["power iteration"][0]
+    rows = []
+    for label, (res, dt, iters, storage) in out.items():
+        rows.append(
+            [label, iters, storage, format_seconds(dt), f"{res.eigenvalue:.12f}"]
+        )
+        assert res.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-7), label
+    txt = render_table(
+        ["solver", "outer iters", "extra N-vectors", "time", "lambda_0"],
+        rows,
+        title=f"Sec. 3 — solver trade-offs on W (nu={NU}, random landscape, tol={TOL:g})",
+    )
+
+    # The paper's qualitative points:
+    assert out["shifted power"][2] < out["power iteration"][2]
+    assert out["Lanczos"][2] < out["power iteration"][2]
+    assert out["Lanczos"][3] > out["power iteration"][3], "Lanczos stores a basis"
+    assert out["CG inverse iteration"][2] < out["power iteration"][2]
+    txt += (
+        "\n\npower iteration: most matvecs but O(1) extra vectors — the "
+        "paper's choice once 2^nu vectors barely fit in memory."
+    )
+    report("solver_tradeoffs", txt)

@@ -1,0 +1,94 @@
+"""Ablation — the spectral gap closes at the error threshold.
+
+Not a paper figure, but the spectral mechanism *behind* two of them:
+the power iteration's convergence rate is λ₁/λ₀ (Sec. 3), and the
+error threshold of Fig. 1 is precisely where the dominant eigenvalue
+becomes nearly degenerate.  We sweep p on the ν = 12 single-peak
+landscape and measure both the gap (by deflation) and the resulting
+power-iteration cost: iteration counts blow up in the threshold region
+and the stationary distribution flips to uniform right there.
+
+This also quantifies DESIGN.md's modeling assumption for Fig. 3 — that
+iteration counts vary slowly in ν *away* from the threshold — by showing
+what controls them.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.analysis.spectral import spectral_gap
+from repro.landscapes import SinglePeakLandscape
+from repro.model.concentrations import uniform_class_concentrations
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp
+from repro.reporting import render_table
+from repro.solvers import PowerIteration, ReducedSolver, dense_solve
+
+NU = 12
+RATES = (0.005, 0.02, 0.04, 0.055, 0.07, 0.12)
+# ln(2)/12 ≈ 0.058: the sweep brackets the threshold.
+
+
+@pytest.fixture(scope="module")
+def gap_sweep():
+    ls = SinglePeakLandscape(NU, 2.0, 1.0)
+    rows = []
+    for p in RATES:
+        mut = UniformMutation(NU, p)
+        op = Fmmp(mut, ls, form="symmetric")
+        ref = dense_solve(mut, ls, form="symmetric")
+        gap = spectral_gap(op, ref.eigenvalue, ref.eigenvector, tol=1e-8)
+        pi = PowerIteration(op, tol=1e-10, max_iterations=500_000).solve(
+            np.sqrt(ls.values())
+        )
+        g0 = ReducedSolver(NU, p, ls).solve().concentrations[0]
+        rows.append((p, gap, pi.iterations, g0))
+    return rows
+
+
+def test_gap_closes_at_threshold(gap_sweep, benchmark):
+    ls = SinglePeakLandscape(NU, 2.0, 1.0)
+    mut = UniformMutation(NU, 0.02)
+    ref = dense_solve(mut, ls, form="symmetric")
+    op = Fmmp(mut, ls, form="symmetric")
+    benchmark(lambda: spectral_gap(op, ref.eigenvalue, ref.eigenvector, tol=1e-7))
+
+    rows = gap_sweep
+    uni0 = uniform_class_concentrations(NU)[0]
+    table_rows = [
+        [f"{p:.3f}", f"{gap:.6f}", iters, f"{g0:.3e}"]
+        for p, gap, iters, g0 in rows
+    ]
+    txt = render_table(
+        ["p", "lambda1/lambda0", "Pi iterations", "[Gamma_0]"],
+        table_rows,
+        title=f"Spectral gap vs error rate (single peak, nu={NU}; "
+        f"threshold ~ ln2/{NU} = {np.log(2) / NU:.3f})",
+    )
+
+    gaps = [r[1] for r in rows]
+    iters = [r[2] for r in rows]
+    # The gap ratio rises monotonically toward the threshold region,
+    # peaks there (finite ν rounds the would-be degeneracy: ≈0.94 at
+    # ν = 12), and recedes beyond it.
+    assert all(a < b + 1e-9 for a, b in zip(gaps[:3], gaps[1:4]))
+    peak = int(np.argmax(gaps))
+    assert RATES[peak] == pytest.approx(np.log(2) / NU, abs=0.02), (
+        f"gap must peak at the threshold: peak at p={RATES[peak]}, gaps={gaps}"
+    )
+    assert gaps[peak] > 0.9, f"near-degeneracy at the threshold: {gaps}"
+    assert gaps[-1] < gaps[peak] - 0.05, "gap recedes beyond the threshold"
+    # Iteration counts blow up in the threshold region relative to the
+    # deep ordered phase.
+    assert max(iters[2:5]) > 5 * iters[0], (iters, gaps)
+    # And the order parameter collapses across the same region.
+    assert rows[0][3] > 1e3 * uni0
+    assert rows[-1][3] < 10 * uni0
+
+    txt += (
+        "\n\nThe power iteration's convergence rate IS the gap (Sec. 3); "
+        "its cost peaks exactly where Fig. 1 collapses — the spectral "
+        "mechanism of the error threshold."
+    )
+    report("spectral_gap_vs_threshold", txt)

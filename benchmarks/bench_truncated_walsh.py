@@ -1,0 +1,90 @@
+"""Future-work artifact — certified approximative matvec strategies.
+
+The conclusions list "approximative strategies for a fast matrix vector
+product" as an open direction.  Our truncated-Walsh operator keeps only
+the Walsh modes with popcount ≤ k_max, whose dropped spectral mass is
+*exactly* ``(1−2p)^{k_max+1}`` — an a-priori certificate the Xmvp(dmax)
+sparsification of [10] does not provide.  This bench traces the
+compression/accuracy trade curve and compares with Xmvp at matched
+work.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.landscapes import RandomLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, TruncatedWalsh, Xmvp
+from repro.reporting import format_sci, render_table
+from repro.solvers import PowerIteration
+
+NU = 12
+P = 0.03
+
+
+@pytest.fixture(scope="module")
+def trade_curve():
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=14)
+    exact = PowerIteration(Fmmp(mut, ls), tol=1e-12).solve(ls.start_vector(), landscape=ls)
+    rows = []
+    for k in range(NU + 1):
+        op = TruncatedWalsh(mut, ls, k)
+        res = PowerIteration(op, tol=1e-12).solve(ls.start_vector(), landscape=ls)
+        err = float(np.abs(res.concentrations - exact.concentrations).max())
+        rows.append((k, op.rank, op.retained_fraction, op.error_bound(), err))
+    return exact, rows
+
+
+def test_truncated_walsh_trade_curve(trade_curve, benchmark):
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=14)
+    op = TruncatedWalsh(mut, ls, 5)
+    v = ls.start_vector()
+    benchmark(lambda: op.matvec(v))
+
+    exact, rows = trade_curve
+    table_rows = [
+        [k, rank, f"{frac:.1%}", format_sci(bound), format_sci(err)]
+        for k, rank, frac, bound, err in rows
+    ]
+    txt = render_table(
+        ["k_max", "rank", "modes kept", "a-priori bound", "solution error"],
+        table_rows,
+        title=f"Truncated-Walsh compression/accuracy trade (nu={NU}, p={P})",
+    )
+
+    errs = [r[4] for r in rows]
+    bounds = [r[3] for r in rows]
+    # Error decreases monotonically (to the solver floor) and is exactly
+    # zero truncation at k = nu.
+    assert all(a >= b - 1e-13 for a, b in zip(errs, errs[1:]))
+    assert errs[-1] < 1e-10
+    # Geometric decay tracking the certificate: each level of k gains
+    # roughly a factor (1-2p) per step in the bound.
+    for k in range(3, 9):
+        assert errs[k] < 50 * bounds[k], f"k={k}: error {errs[k]} vs bound {bounds[k]}"
+
+    # Comparison with Xmvp at matched accuracy: find the smallest k and
+    # dmax reaching 1e-6, compare their state compression.
+    target = 1e-6
+    k_needed = next(k for k, *_, err in rows if err < target)
+    mut_ = UniformMutation(NU, P)
+    ls_ = RandomLandscape(NU, c=5.0, sigma=1.0, seed=14)
+    dmax_needed = None
+    for dmax in range(1, NU + 1):
+        res = PowerIteration(Xmvp(mut_, ls_, dmax), tol=1e-12).solve(
+            ls_.start_vector(), landscape=ls_
+        )
+        if float(np.abs(res.concentrations - exact.concentrations).max()) < target:
+            dmax_needed = dmax
+            break
+    assert dmax_needed is not None
+    frac_needed = rows[k_needed][2]
+    txt += (
+        f"\n\nmatched accuracy {target:g}: truncated-Walsh needs k_max={k_needed} "
+        f"({frac_needed:.1%} of modes, certified bound {rows[k_needed][3]:.1e}); "
+        f"Xmvp needs dmax={dmax_needed} (no a-priori certificate)."
+    )
+    report("truncated_walsh_trade", txt)

@@ -1,0 +1,37 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench registers the tables/series it reproduces through
+:func:`report`; they are printed in the terminal summary (so they appear
+in ``pytest benchmarks/ --benchmark-only`` output regardless of capture
+settings) and written to ``benchmarks/out/`` as text + CSV artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+_REPORTS: list[tuple[str, str]] = []
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(name: str, text: str, *, csv: str | None = None) -> None:
+    """Register a rendered table for the terminal summary and persist it."""
+    _REPORTS.append((name, text))
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    if csv is not None:
+        with open(os.path.join(OUT_DIR, f"{name}.csv"), "w", encoding="utf-8") as fh:
+            fh.write(csv)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction outputs")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

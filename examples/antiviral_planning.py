@@ -1,0 +1,74 @@
+"""Lethal mutagenesis — the antiviral application the paper motivates.
+
+Sec. 1.1: "This sudden change from an ordered distribution to random
+replication is of potential interest as a building block for new
+antiviral strategies because the error rates of RNA viruses are usually
+close to this critical value and an increase of p is possible by the
+use of pharmaceutical drugs."
+
+This example plays pharmacologist: for viruses with different fitness
+landscapes and natural error rates, locate the error threshold by
+bisection and compute the mutagenic fold increase needed to push the
+population into the error catastrophe — then verify the prediction by
+simulating a finite population at the recommended dose.
+
+Run:  python examples/antiviral_planning.py
+"""
+
+import numpy as np
+
+from repro.landscapes import LinearLandscape, SinglePeakLandscape
+from repro.model.antiviral import mutagenesis_margin
+from repro.mutation import UniformMutation
+from repro.population import WrightFisher
+
+NU = 16
+
+
+def main() -> None:
+    cases = [
+        ("sharp-peak virus, low natural error rate", SinglePeakLandscape(NU, 2.0, 1.0), 0.015),
+        ("sharp-peak virus, near-critical error rate", SinglePeakLandscape(NU, 2.0, 1.0), 0.038),
+        ("strongly superior wild type", SinglePeakLandscape(NU, 8.0, 1.0), 0.03),
+        ("smooth (linear) landscape", LinearLandscape(NU, 2.0, 1.0), 0.02),
+    ]
+    for label, landscape, p in cases:
+        a = mutagenesis_margin(landscape, p)
+        print(f"== {label} ==")
+        print(f"   natural error rate   p       = {a.p_current:.4f}")
+        print(f"   master concentration [G0]    = {a.master_concentration:.4f}")
+        if a.treatable:
+            print(f"   error threshold      p_max   = {a.p_max:.4f}")
+            if a.margin > 0:
+                print(f"   required mutagenic dose      : +{a.margin:.4f} "
+                      f"({a.fold_increase:.2f}x fold increase)")
+            else:
+                print("   already past the threshold — population delocalized")
+        else:
+            print("   no sharp threshold: mutagenesis degrades fitness only "
+                  "gradually on this landscape")
+        print()
+
+    # Verify the plan stochastically: dose a finite population at 1.2x
+    # the computed requirement and watch the master class collapse.
+    landscape = SinglePeakLandscape(NU, 2.0, 1.0)
+    a = mutagenesis_margin(landscape, 0.015)
+    dose = a.p_max * 1.2
+    print(f"verification: Wright-Fisher (M = 5000) at p = 0.015 vs dosed p = {dose:.4f}")
+    for label, p in (("untreated", 0.015), ("treated", dose)):
+        wf = WrightFisher(UniformMutation(NU, p), landscape, 5_000, seed=7)
+        stats = wf.run(200, burn_in=50)
+        extinct = stats.master_extinction_generation
+        print(f"   {label:9s}: mean [G0] = {stats.mean_class_concentrations[0]:.4f}"
+              + (f", master extinct at generation {int(extinct)}" if extinct else
+                 ", master persists"))
+
+    print(
+        "\nThe treated population crosses the error threshold and loses the "
+        "wild type — the mutagenesis strategy the quasispecies model "
+        "suggests, computed with the fast solvers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Convergence analysis — the spectral gap in action (paper Sec. 3).
+
+The power iteration converges at rate λ₁/λ₀ and the paper's shift
+improves this to (λ₁−μ)/(λ₀−μ).  This example measures all of it on a
+random landscape:
+
+* the true gap via deflation (one extra stored vector),
+* the empirical rate from the solver's residual history,
+* the predicted vs actual iteration counts, plain and shifted,
+* and how the gap collapses — and the solver slows — near the error
+  threshold of a single-peak landscape.
+
+Run:  python examples/convergence_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.spectral import (
+    estimate_rate_from_history,
+    predicted_iterations,
+    spectral_gap,
+)
+from repro.analysis.statistics import summarize
+from repro.landscapes import RandomLandscape, SinglePeakLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, ShiftedOperator
+from repro.operators.shifted import conservative_shift
+from repro.solvers import PowerIteration, dense_solve
+
+NU = 10
+P = 0.02
+
+
+def main() -> None:
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=23)
+    op = Fmmp(mut, ls, form="symmetric")
+    ref = dense_solve(mut, ls, form="symmetric")
+
+    gap = spectral_gap(op, ref.eigenvalue, ref.eigenvector)
+    print(f"dominant eigenvalue     lambda_0 = {ref.eigenvalue:.8f}")
+    print(f"spectral gap (deflated) lambda_1/lambda_0 = {gap:.6f}")
+
+    start = np.sqrt(ls.values())
+    plain = PowerIteration(op, tol=1e-12, record_history=True).solve(start)
+    rate = estimate_rate_from_history(plain.history)
+    print(f"\nplain power iteration   : {plain.iterations} iterations")
+    print(f"empirical rate           : {rate:.6f} (theory: {gap:.6f})")
+
+    mu = conservative_shift(mut, ls)
+    shifted = PowerIteration(ShiftedOperator(op, mu), tol=1e-12, record_history=True).solve(start)
+    shifted_rate = estimate_rate_from_history(shifted.history)
+    print(f"\nshifted (mu = {mu:.3e}) : {shifted.iterations} iterations "
+          f"({1 - shifted.iterations / plain.iterations:.0%} saved; paper: ~10%+)")
+    print(f"shifted empirical rate   : {shifted_rate:.6f}")
+
+    anchor = plain.history[4]
+    remaining = predicted_iterations(rate, start_residual=anchor.residual, tol=1e-12)
+    print(f"\nprediction check: from iteration 5 the rate model forecasts "
+          f"{remaining} more iterations; the solver used {plain.iterations - 5}.")
+
+    print("\n--- gap collapse near the error threshold (single peak) ---")
+    sp = SinglePeakLandscape(NU, 2.0, 1.0)
+    print("     p    lambda1/lambda0   iterations   phase")
+    for p in (0.01, 0.04, 0.0675, 0.1):
+        m = UniformMutation(NU, p)
+        o = Fmmp(m, sp, form="symmetric")
+        r = dense_solve(m, sp, form="symmetric")
+        g = spectral_gap(o, r.eigenvalue, r.eigenvector, tol=1e-8)
+        pi = PowerIteration(o, tol=1e-10, max_iterations=10**6).solve(np.sqrt(sp.values()))
+        s = summarize(r.concentrations, NU)
+        phase = "ordered" if s.is_ordered else "delocalized"
+        print(f"  {p:.4f}      {g:.6f}      {pi.iterations:8d}   {phase}")
+    print(
+        "\nThe solver is slowest exactly at the threshold — the spectral "
+        "degeneracy that drives the Fig. 1 collapse also sets the cost of "
+        "computing it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Generalized mutation processes (paper Sec. 2.2).
+
+The uniform-error-rate assumption is the quasispecies model's oldest
+criticism.  The fast solver never needed it: this example builds three
+increasingly general mutation processes on the same rugged landscape and
+compares the stationary distributions —
+
+1. the classic uniform model (every site flips with probability p),
+2. per-site rates with a mutational hot spot and a repair-biased site,
+3. grouped (Eq. 11) factors where two adjacent sites mutate dependently
+   (double mutations suppressed).
+
+All three run through the same Θ(N log₂ N) machinery.
+
+Run:  python examples/general_mutation.py
+"""
+
+import numpy as np
+
+from repro.landscapes import RandomLandscape
+from repro.model import QuasispeciesModel, class_concentrations
+from repro.mutation import GroupedMutation, PerSiteMutation, UniformMutation, site_factor
+
+NU = 12
+P = 0.02
+SEED = 42
+
+
+def correlated_pair_block(p: float) -> np.ndarray:
+    """4×4 column-stochastic block for two linked sites: single flips at
+    rate p each, simultaneous double flips suppressed entirely."""
+    return np.array(
+        [
+            [1 - 2 * p, p, p, 0.0],
+            [p, 1 - 2 * p, 0.0, p],
+            [p, 0.0, 1 - 2 * p, p],
+            [0.0, p, p, 1 - 2 * p],
+        ]
+    )
+
+
+def main() -> None:
+    landscape = RandomLandscape(NU, c=5.0, sigma=1.0, seed=SEED)
+
+    # 1. Uniform.
+    uniform = UniformMutation(NU, P)
+
+    # 2. Per-site: site 3 is a mutational hot spot (10x), site 7 has a
+    #    strong 1->0 repair bias.
+    factors = [site_factor(P) for _ in range(NU)]
+    factors[3] = site_factor(10 * P)
+    factors[7] = site_factor(P, 10 * P)
+    per_site = PerSiteMutation(factors)
+
+    # 3. Grouped: the two most significant sites form a correlated pair;
+    #    the remaining 10 sites stay independent (paper ⊗ order: the
+    #    pair block first = most significant bits).
+    grouped = GroupedMutation([correlated_pair_block(P)] + [site_factor(P)] * (NU - 2))
+
+    print(f"random landscape (Eq. 13) nu={NU}, c=5, sigma=1, seed={SEED}\n")
+    results = {}
+    for label, mutation in [
+        ("uniform", uniform),
+        ("per-site (hot spot + repair)", per_site),
+        ("grouped (correlated pair)", grouped),
+    ]:
+        model = QuasispeciesModel(landscape, mutation)
+        res = model.solve("power", tol=1e-12)
+        results[label] = res
+        gamma = class_concentrations(res.concentrations, NU)
+        print(f"{label:30s} lambda_0 = {res.eigenvalue:.6f}  iters = {res.iterations:4d}")
+        print(f"{'':30s} [G0..G4] = " + " ".join(f"{g:.4f}" for g in gamma[:5]))
+
+    # The generalizations matter: distributions measurably differ.
+    base = results["uniform"].concentrations
+    for label in ("per-site (hot spot + repair)", "grouped (correlated pair)"):
+        delta = np.abs(results[label].concentrations - base).max()
+        print(f"\nmax concentration shift vs uniform [{label}]: {delta:.2e}")
+
+    print(
+        "\nSame Θ(N log N) solver for all three — the generality the "
+        "approximative methods of the prior literature cannot reach."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Kronecker landscapes — quasispecies for chain length ν = 100.
+
+The paper (Sec. 5.2): "the quasispecies model for a chain length ν = 100
+(which occurs in existing viruses of interest) is by far out of reach of
+any of the currently available computational technology.  However, for a
+Kronecker fitness landscape with g = 4 it could be reduced to four
+subproblems of dimension 2²⁵."
+
+This example does exactly that (with g = 10 groups of 10 sites to keep
+the demo snappy): solves the decoupled subproblems, then queries the
+*implicit* eigenvector — cumulative error-class concentrations and the
+per-class min/max concentrations the paper proposes as an
+error-threshold diagnostic — without ever materializing 2¹⁰⁰ values.
+
+Run:  python examples/kronecker_long_chain.py
+"""
+
+import numpy as np
+
+from repro.landscapes import KroneckerLandscape
+from repro.mutation import UniformMutation
+from repro.solvers import KroneckerSolver
+
+NU = 100
+GROUPS = 10
+P = 0.005
+SEED = 7
+
+
+def main() -> None:
+    bits = NU // GROUPS
+    rng = np.random.default_rng(SEED)
+    # Each group: a rugged factor with a locally fit "wild type" state 0.
+    diagonals = []
+    for _ in range(GROUPS):
+        d = rng.random(1 << bits) + 0.5
+        d[0] = 2.0
+        diagonals.append(d)
+    landscape = KroneckerLandscape(diagonals)
+    print(f"landscape: nu={landscape.nu}, groups={landscape.group_sizes}")
+    print(f"degrees of freedom: {landscape.degrees_of_freedom} "
+          f"(vs nu+1={NU + 1} for Hamming landscapes; full would be 2^{NU})")
+    print(f"full problem size: 2^{NU} ≈ {2.0**NU:.2e} sequences\n")
+
+    solver = KroneckerSolver(UniformMutation(NU, P), landscape)
+    result = solver.solve()
+    print(f"dominant eigenvalue (mean fitness): {result.eigenvalue:.6f}")
+    print("subproblem eigenvalues:",
+          " ".join(f"{r.eigenvalue:.4f}" for r in result.sub_results))
+
+    vec = result.eigenvector
+    print(f"\nmaster-sequence concentration x_0 = {vec.value_at(0):.3e}")
+
+    gamma = vec.class_concentrations()
+    print("\ncumulative error-class concentrations (first 12 classes):")
+    for k in range(12):
+        print(f"  [Gamma_{k:<2d}] = {gamma[k]:.4e}")
+    print(f"  (all {NU + 1} classes sum to {gamma.sum():.6f})")
+
+    lo, hi = vec.class_extrema()
+    print("\nper-class single-sequence concentration ranges (threshold diagnostic):")
+    for k in (0, 1, 5, 20, 50):
+        print(f"  Gamma_{k:<2d}: min {lo[k]:.3e}   max {hi[k]:.3e}   spread {hi[k] / lo[k]:.2f}x")
+    print(
+        "\nAn ordered distribution (spread >> 1 within classes, mass near the "
+        "master) — all read off an eigenvector that was never materialized."
+    )
+
+
+if __name__ == "__main__":
+    main()

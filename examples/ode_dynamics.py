@@ -1,0 +1,66 @@
+"""Replicator–mutator dynamics (paper Eq. 1) vs the eigenvector solution.
+
+The quasispecies is *defined* as the stationary distribution of the
+nonlinear ODE system
+
+    dx_i/dt = Σ_j f_j Q_{i,j} x_j − x_i Φ(t),
+
+and the paper's whole enterprise rests on the classical reduction of
+that fixed point to a dominant-eigenvector problem.  This example
+integrates the dynamics directly (starting from a pure master-sequence
+population, x_0 = 1) using the same fast matvec, watches the population
+structure evolve, and confirms the long-time limit matches the
+eigensolver to solver precision — with the mean fitness Φ converging to
+the dominant eigenvalue λ₀.
+
+Run:  python examples/ode_dynamics.py
+"""
+
+import numpy as np
+
+from repro.landscapes import RandomLandscape
+from repro.model import class_concentrations
+from repro.model.ode import QuasispeciesODE
+from repro.mutation import UniformMutation
+from repro.solvers import dense_solve
+
+NU = 10
+P = 0.02
+SEED = 5
+
+
+def main() -> None:
+    mutation = UniformMutation(NU, P)
+    landscape = RandomLandscape(NU, c=5.0, sigma=1.0, seed=SEED)
+    ode = QuasispeciesODE(mutation, landscape)
+
+    eigen = dense_solve(mutation, landscape)
+    print(f"eigensolver: lambda_0 = {eigen.eigenvalue:.8f}\n")
+
+    x = ode.master_start()
+    dt, t = 0.05, 0.0
+    print("   t      Phi(t)     [G0]     [G1]     [G2]   |x - x*|_1")
+    checkpoints = {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}
+    while t < 50.0 + 1e-9:
+        if abs(t - round(t, 1)) < 1e-9 and (round(t, 1) in checkpoints or t == 0.0):
+            gamma = class_concentrations(x, NU)
+            drift = np.abs(x - eigen.concentrations).sum()
+            print(
+                f"{t:6.1f}  {ode.flux(x):.6f} {gamma[0]:9.4f}{gamma[1]:9.4f}"
+                f"{gamma[2]:9.4f}   {drift:.3e}"
+            )
+        x = ode.step_rk4(x, dt)
+        t += dt
+
+    final_gap = abs(ode.flux(x) - eigen.eigenvalue)
+    print(f"\nfinal |Phi - lambda_0| = {final_gap:.2e}")
+    print(f"final |x - x*|_1       = {np.abs(x - eigen.concentrations).sum():.2e}")
+    print(
+        "\nThe dynamics converge to the Perron eigenvector and the dilution "
+        "flux to the dominant eigenvalue — the Bernoulli change of variables "
+        "that turns Eq. (1) into the eigenproblem the fast solver attacks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart — solve a quasispecies model in a few lines.
+
+Builds the classic single-peak landscape for chain length ν = 14
+(N = 16384 sequences), solves for the stationary distribution, and
+prints the headline biological readouts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QuasispeciesModel
+from repro.landscapes import SinglePeakLandscape
+from repro.model.concentrations import dominant_sequence, participation_ratio
+
+NU = 14  # chain length; the problem has 2**14 = 16384 sequences
+P = 0.01  # per-site error rate
+
+
+def main() -> None:
+    landscape = SinglePeakLandscape(NU, f_peak=2.0, f_rest=1.0)
+    model = QuasispeciesModel(landscape, p=P)
+
+    # 'auto' picks the structurally best solver — here the exact (ν+1)
+    # reduction of Sec. 5.1, because the landscape is Hamming-based.
+    result = model.solve()
+    print(f"solver        : {result.method}")
+    print(f"mean fitness  : lambda_0 = {result.eigenvalue:.6f}")
+    print(f"residual      : {result.residual:.2e}")
+
+    gamma = model.class_concentrations(result)
+    print("\ncumulative error-class concentrations [Gamma_k]:")
+    for k, g in enumerate(gamma):
+        bar = "#" * int(60 * g)
+        print(f"  k={k:2d}  {g:10.6f}  {bar}")
+
+    # The same model solved with the general-purpose fast solver
+    # (shifted power iteration on the Fmmp product) — identical answer.
+    full = model.solve("power", shift=True, tol=1e-12)
+    x = full.concentrations
+    idx, conc = dominant_sequence(x)
+    print(f"\nfull solver   : {full.method} ({full.iterations} iterations)")
+    print(f"dominant seq  : X_{idx} at concentration {conc:.4f}")
+    print(f"effective #occupied sequences (participation ratio): {participation_ratio(x):.1f}")
+    print(f"agreement with reduced solver: |d lambda| = {abs(full.eigenvalue - result.eigenvalue):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Four-letter RNA alphabet (the Sec. 5.2 extension, implemented).
+
+The paper notes that for Kronecker-structured models it is "relatively
+easy to extend the quasispecies model beyond a binary alphabet to the
+full four element RNA alphabet".  This example does it: each nucleotide
+is a 2-bit Kronecker group with a 4×4 Kimura two-parameter substitution
+block (transitions A↔G / C↔U at rate alpha, transversions at beta), and
+the standard solvers run unchanged.
+
+We model a 6-nucleotide RNA (ν = 12 bits, 4⁶ = 4096 sequences) with a
+fit wild-type sequence and compare a transition-biased virus (alpha ≫
+beta, the biologically typical case) with an unbiased one.
+
+Run:  python examples/rna_alphabet.py
+"""
+
+import numpy as np
+
+from repro.landscapes import TabulatedLandscape
+from repro.model import QuasispeciesModel
+from repro.mutation import NUCLEOTIDE_ORDER, rna_mutation
+
+LENGTH = 6  # nucleotides; chain length in bits is 2 * LENGTH
+
+
+def decode(i: int, length: int) -> str:
+    """Sequence index -> letters (first block = 5'-most nucleotide)."""
+    letters = []
+    for pos in range(length):
+        shift = 2 * (length - 1 - pos)
+        letters.append(NUCLEOTIDE_ORDER[(i >> shift) & 0b11])
+    return "".join(letters)
+
+
+def main() -> None:
+    n = 4**LENGTH
+    rng = np.random.default_rng(11)
+    fitness = rng.random(n) * 0.5 + 0.75
+    fitness[0] = 3.0  # wild type: AAAAAA
+    landscape = TabulatedLandscape(fitness)
+
+    for label, alpha, beta in [
+        ("transition-biased (alpha=0.02, beta=0.002)", 0.02, 0.002),
+        ("unbiased Jukes-Cantor (alpha=beta=0.008)", 0.008, None),
+    ]:
+        mutation = rna_mutation(length=LENGTH, alpha=alpha, beta=beta)
+        model = QuasispeciesModel(landscape, mutation)
+        res = model.solve("power", tol=1e-12)
+        x = res.concentrations
+        print(f"== {label} ==")
+        print(f"  lambda_0 = {res.eigenvalue:.6f}   iterations = {res.iterations}")
+        top = np.argsort(x)[::-1][:6]
+        for i in top:
+            print(f"    {decode(int(i), LENGTH)}  {x[i]:.5f}")
+        # Mutational cloud structure: single-transition neighbors of the
+        # wild type vs single-transversion neighbors.
+        transitions = [0b01 << (2 * pos) for pos in range(LENGTH)]
+        transversions = [0b10 << (2 * pos) for pos in range(LENGTH)]
+        t_mass = sum(x[i] for i in transitions)
+        v_mass = sum(x[i] for i in transversions)
+        print(f"  mass on transition neighbors   : {t_mass:.5f}")
+        print(f"  mass on transversion neighbors : {v_mass:.5f}"
+              f"   (ratio {t_mass / v_mass:.1f}x)\n")
+
+    print(
+        "Transition bias reshapes the quasispecies cloud — a structure the "
+        "binary uniform-rate model cannot express, available here at the "
+        "same Θ(N·Σ 2^{g_i}) cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-build-isolation`).
+
+The environment has setuptools but no `wheel` package, so the PEP 517
+editable path (which needs `bdist_wheel`) is unavailable; this file lets
+pip fall back to `setup.py develop`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

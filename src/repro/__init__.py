@@ -1,0 +1,58 @@
+"""repro — a fast solver for Eigen's quasispecies model of virus evolution.
+
+Reproduction of G. Niederbrucker and W. N. Gansterer, *A Fast Solver for
+Modeling the Evolution of Virus Populations*, SC'11.
+
+Quick start
+-----------
+>>> from repro import QuasispeciesModel
+>>> from repro.landscapes import SinglePeakLandscape
+>>> model = QuasispeciesModel(SinglePeakLandscape(12, f_peak=2.0), p=0.01)
+>>> result = model.solve()            # exact (nu+1) reduction, Sec. 5.1
+>>> gamma = result.concentrations     # cumulative error-class concentrations
+
+Package map
+-----------
+``repro.model``
+    High-level API: :class:`QuasispeciesModel`, the replicator–mutator
+    ODE, error-threshold sweeps.
+``repro.operators``
+    The implicit matvecs the paper compares: ``Fmmp`` (Sec. 2), the
+    ``Xmvp(dmax)`` baseline ([10]), dense ``Smvp``.
+``repro.solvers``
+    Power iteration with the conservative shift (Sec. 3), Lanczos,
+    shift-and-invert/RQI, the exact (ν+1) reduction (Sec. 5.1), the
+    Kronecker decoupled solver (Sec. 5.2), dense baselines.
+``repro.mutation`` / ``repro.landscapes``
+    Mutation processes (uniform / per-site / grouped, Sec. 2.2) and
+    fitness landscapes (single peak, linear, random Eq. 13, Kronecker).
+``repro.transforms`` / ``repro.bitops``
+    FWHT, butterfly, Kronecker matvec; Hamming/error-class machinery.
+``repro.device``
+    Simulated OpenCL-style runtime with hardware profiles (Sec. 4).
+``repro.perf`` / ``repro.reporting``
+    Cost models, measurement and extrapolation harness, experiment
+    registry regenerating every figure of the paper.
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ConvergenceError,
+    DeviceError,
+    IncompatibleStructureError,
+    ReproError,
+    ValidationError,
+)
+from repro.model.quasispecies import QuasispeciesModel
+from repro.solvers.result import SolveResult
+
+__all__ = [
+    "__version__",
+    "QuasispeciesModel",
+    "SolveResult",
+    "ReproError",
+    "ValidationError",
+    "ConvergenceError",
+    "IncompatibleStructureError",
+    "DeviceError",
+]

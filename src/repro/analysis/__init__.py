@@ -1,0 +1,54 @@
+"""Analysis tools on top of the solvers.
+
+* :mod:`repro.analysis.spectral` — the second eigenpair by deflation,
+  spectral gap ``λ₁/λ₀`` (the power iteration's convergence rate, and a
+  sharp order parameter for the error threshold: the gap closes at
+  ``p_max``), and rate estimation from residual histories.
+* :mod:`repro.analysis.statistics` — population-level readouts of a
+  stationary distribution: consensus sequence, Shannon entropy of the
+  mutant cloud, localization measures.
+"""
+
+from repro.analysis.spectral import (
+    deflated_second_eigenpair,
+    spectral_gap,
+    estimate_rate_from_history,
+    predicted_iterations,
+)
+from repro.analysis.statistics import (
+    consensus_sequence,
+    cloud_entropy,
+    master_localization,
+    summarize,
+    QuasispeciesSummary,
+)
+from repro.analysis.resolution import (
+    site_marginal,
+    prefix_concentrations,
+    kron_site_marginal,
+)
+from repro.analysis.walsh import (
+    walsh_spectrum,
+    shell_energies,
+    epistasis_order,
+    effective_order,
+)
+
+__all__ = [
+    "walsh_spectrum",
+    "shell_energies",
+    "epistasis_order",
+    "effective_order",
+    "site_marginal",
+    "prefix_concentrations",
+    "kron_site_marginal",
+    "deflated_second_eigenpair",
+    "spectral_gap",
+    "estimate_rate_from_history",
+    "predicted_iterations",
+    "consensus_sequence",
+    "cloud_entropy",
+    "master_localization",
+    "summarize",
+    "QuasispeciesSummary",
+]

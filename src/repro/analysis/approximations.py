@@ -1,0 +1,74 @@
+"""Classic closed-form quasispecies approximations, checked against exact.
+
+Before fast exact solvers, the field worked with first-order theory
+(Eigen 1971; Swetina & Schuster 1982 — the paper's refs. [5, 17]).  For
+the single-peak landscape with superiority ``σ₀ = f_peak/f_rest``:
+
+* master copying fidelity        ``Q̄ = (1−p)^ν``,
+* error-threshold condition      ``Q̄·σ₀ > 1``  ⇒
+  ``p_max = 1 − σ₀^{−1/ν} ≈ ln(σ₀)/ν``,
+* stationary master frequency (neglecting back-mutation)
+  ``x₀ ≈ (σ₀Q̄ − 1)/(σ₀ − 1)``,
+* dominant eigenvalue (same approximation) ``λ₀ ≈ f_peak·Q̄``.
+
+Having the exact machinery lets us do what the classic papers could
+not: *measure* the approximation error of these formulas across the
+phase diagram (see the tests and ``bench_classic_theory.py``) — they are
+excellent deep in the ordered phase and fail, as expected, near the
+threshold where back-mutation and the mutant cloud matter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+from repro.landscapes.singlepeak import SinglePeakLandscape
+from repro.util.validation import check_chain_length, check_error_rate
+
+__all__ = [
+    "master_fidelity",
+    "classic_threshold",
+    "no_backmutation_master_frequency",
+    "no_backmutation_growth",
+]
+
+
+def master_fidelity(nu: int, p: float) -> float:
+    """Probability ``Q̄ = (1−p)^ν`` of copying the master without error."""
+    nu = check_chain_length(nu, max_nu=10_000)
+    p = check_error_rate(p, allow_zero=True)
+    return (1.0 - p) ** nu
+
+
+def classic_threshold(nu: int, superiority: float, *, first_order: bool = False) -> float:
+    """The classic error-threshold estimate.
+
+    Exact condition of the no-backflow theory: ``(1−p)^ν σ₀ = 1`` ⇒
+    ``p_max = 1 − σ₀^{−1/ν}``; with ``first_order=True`` the textbook
+    expansion ``ln(σ₀)/ν`` is returned instead.
+    """
+    nu = check_chain_length(nu, max_nu=10_000)
+    if superiority <= 1.0:
+        raise ValidationError(f"superiority must exceed 1, got {superiority}")
+    if first_order:
+        return math.log(superiority) / nu
+    return 1.0 - superiority ** (-1.0 / nu)
+
+
+def no_backmutation_master_frequency(nu: int, p: float, superiority: float) -> float:
+    """Swetina–Schuster stationary master frequency
+    ``x₀ = (σ₀Q̄ − 1)/(σ₀ − 1)``, clipped at 0 above the threshold."""
+    if superiority <= 1.0:
+        raise ValidationError(f"superiority must exceed 1, got {superiority}")
+    q = master_fidelity(nu, p)
+    return max(0.0, (superiority * q - 1.0) / (superiority - 1.0))
+
+
+def no_backmutation_growth(landscape: SinglePeakLandscape, p: float) -> float:
+    """Dominant-eigenvalue approximation ``λ₀ ≈ f_peak·(1−p)^ν`` (valid
+    below threshold), floored at ``f_rest`` (the delocalized value)."""
+    if not isinstance(landscape, SinglePeakLandscape):
+        raise ValidationError("the classic formulas assume the single-peak landscape")
+    lam = landscape.f_peak * master_fidelity(landscape.nu, p)
+    return max(lam, landscape.f_rest)

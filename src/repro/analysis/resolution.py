@@ -1,0 +1,144 @@
+"""Multi-resolution concentration queries (paper future work, implemented).
+
+The conclusions name "efficient methods which allow for computing
+quasispecies concentrations at various resolution levels" as an open
+direction.  Two natural resolution hierarchies:
+
+* **site marginals / subcube aggregation** — marginalize the
+  distribution onto any subset ``S`` of sites: the probability of each
+  of the ``2^{|S|}`` configurations of those sites, all other sites
+  summed out.  For an explicit vector this is one reshape+sum
+  (``Θ(N)``); for the implicit Kronecker eigenvectors of Sec. 5.2 it
+  factors over the groups and costs only ``Θ(Σ 2^{g_i})`` — resolution
+  queries on a ν = 100 model without ever materializing it.
+* **prefix coarse-graining** — aggregate into ``2^ℓ`` blocks by the top
+  ``ℓ`` index bits (level-ℓ resolution of the sequence-space binary
+  tree), the natural "zoom" hierarchy of the butterfly layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.solvers.kron_solver import KroneckerEigenvector
+from repro.util.validation import check_chain_length, check_vector
+
+__all__ = ["site_marginal", "prefix_concentrations", "kron_site_marginal"]
+
+
+def site_marginal(x: np.ndarray, nu: int, sites: Sequence[int]) -> np.ndarray:
+    """Marginal distribution of the given sites (explicit vector).
+
+    Parameters
+    ----------
+    x:
+        Concentration vector of length ``2**nu``.
+    nu:
+        Chain length.
+    sites:
+        Distinct site indices (bit positions, LSB = site 0), in the
+        order the output configurations should be indexed: entry ``c``
+        of the result is the total concentration of sequences whose
+        selected sites spell the binary number ``c`` (``sites[0]`` is
+        the least significant output bit).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``2**len(sites)`` marginal (sums to ``x.sum()``).
+    """
+    nu = check_chain_length(nu)
+    x = check_vector(x, 1 << nu, "x")
+    sites = list(sites)
+    if len(set(sites)) != len(sites):
+        raise ValidationError("sites must be distinct")
+    if not sites:
+        raise ValidationError("at least one site is required")
+    for s in sites:
+        if not 0 <= s < nu:
+            raise ValidationError(f"site {s} out of range [0, {nu})")
+    idx = np.arange(1 << nu, dtype=np.int64)
+    config = np.zeros(1 << nu, dtype=np.int64)
+    for out_bit, s in enumerate(sites):
+        config |= ((idx >> s) & 1) << out_bit
+    return np.bincount(config, weights=x, minlength=1 << len(sites))
+
+
+def prefix_concentrations(x: np.ndarray, nu: int, level: int) -> np.ndarray:
+    """Coarse-grained concentrations at tree level ``level``.
+
+    Aggregates over the ``2^{ν−ℓ}`` sequences sharing each of the
+    ``2^ℓ`` most-significant-bit prefixes: level 0 is the total mass,
+    level ν the full vector.
+    """
+    nu = check_chain_length(nu)
+    if not 0 <= level <= nu:
+        raise ValidationError(f"level must be in [0, {nu}], got {level}")
+    x = check_vector(x, 1 << nu, "x")
+    return x.reshape(1 << level, -1).sum(axis=1)
+
+
+def kron_site_marginal(
+    vec: KroneckerEigenvector, sites: Sequence[int]
+) -> np.ndarray:
+    """Site marginal of an *implicit* Kronecker eigenvector.
+
+    The distribution factors over the bit groups, so the marginal is the
+    Kronecker product of per-group marginals — computable for chain
+    lengths whose full vector could never be stored (the ν = 100 case of
+    Sec. 5.2).
+
+    Sites use the same global bit convention as everywhere (LSB = site
+    0); the output is indexed like :func:`site_marginal`.
+    """
+    sites = list(sites)
+    if not sites or len(set(sites)) != len(sites):
+        raise ValidationError("sites must be non-empty and distinct")
+    for s in sites:
+        if not 0 <= s < vec.nu:
+            raise ValidationError(f"site {s} out of range [0, {vec.nu})")
+
+    # Locate each factor's global bit range.  Factors are stored MSB
+    # group first: factor 0 covers bits [nu − g₀, nu); within a group,
+    # the group's LSB is its lowest global bit.
+    factors = vec.factors
+    bits = vec.group_sizes
+    ranges = []
+    hi = vec.nu
+    for g in bits:
+        ranges.append((hi - g, hi))
+        hi -= g
+
+    # Sites in different groups are independent (the distribution is a
+    # product over groups), so the joint marginal is the product of the
+    # per-group joint marginals; sites sharing a group stay correlated
+    # and are marginalized jointly within it.
+    by_group: dict[int, list[int]] = {}
+    for pos, s in enumerate(sites):
+        for gi, (lo, hi_) in enumerate(ranges):
+            if lo <= s < hi_:
+                by_group.setdefault(gi, []).append(pos)
+                break
+
+    out_dim = 1 << len(sites)
+    out_idx = np.arange(out_dim)
+    table = np.ones(out_dim)
+    for gi, positions in by_group.items():
+        lo, _ = ranges[gi]
+        f = factors[gi]
+        g = bits[gi]
+        idx = np.arange(1 << g)
+        # Output configuration contributed by this group's sites, for
+        # every internal state of the group.
+        conf = np.zeros(1 << g, dtype=np.int64)
+        mask = 0
+        for pos in positions:
+            conf |= ((idx >> (sites[pos] - lo)) & 1) << pos
+            mask |= 1 << pos
+        group_marginal = np.bincount(conf, weights=f / f.sum(), minlength=out_dim)
+        # Bits owned by other groups are free: broadcast over them.
+        table *= group_marginal[out_idx & mask]
+    return table

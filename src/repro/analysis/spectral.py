@@ -1,0 +1,138 @@
+"""Spectral-gap analysis.
+
+The power iteration's convergence rate is ``λ₁/λ₀`` (or, shifted,
+``(λ₁−μ)/(λ₀−μ)`` — Sec. 3 of the paper).  Beyond predicting iteration
+counts, the gap is physically meaningful: at the error threshold the
+dominant eigenvalue of ``W`` becomes nearly degenerate (the ordered
+quasispecies and the delocalized phase exchange stability), so
+``λ₁/λ₀ → 1`` exactly where Fig. 1 shows the collapse.  The
+gap-vs-threshold bench exercises this.
+
+The second eigenpair is computed by *deflation* on the symmetric form:
+power iteration on ``W_S − λ₀·x₀x₀ᵀ``, each step re-orthogonalized
+against the known dominant eigenvector — one extra stored vector, in the
+spirit of the paper's minimal-memory constraints.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.operators.base import ImplicitOperator
+from repro.solvers.result import IterationRecord
+
+__all__ = [
+    "deflated_second_eigenpair",
+    "spectral_gap",
+    "estimate_rate_from_history",
+    "predicted_iterations",
+]
+
+
+def deflated_second_eigenpair(
+    operator: ImplicitOperator,
+    eigenvalue: float,
+    eigenvector: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 200_000,
+    seed: int = 0,
+) -> tuple[float, np.ndarray]:
+    """Second eigenpair ``(λ₁, x₁)`` of a symmetric operator.
+
+    Parameters
+    ----------
+    operator:
+        Symmetric implicit operator (``form="symmetric"``).
+    eigenvalue, eigenvector:
+        The known dominant pair ``(λ₀, x₀)`` (any scaling; normalized
+        internally).
+    tol:
+        Residual threshold ``‖W x₁ − λ₁ x₁‖₂``.
+
+    Returns
+    -------
+    (lambda1, x1)
+        The subdominant eigenvalue and a unit-2-norm eigenvector.
+    """
+    if not operator.is_symmetric:
+        raise ValidationError(
+            "deflation requires a symmetric operator; use form='symmetric'"
+        )
+    x0 = np.asarray(eigenvector, dtype=np.float64)
+    nrm = np.linalg.norm(x0)
+    if nrm == 0.0:
+        raise ValidationError("dominant eigenvector must be nonzero")
+    x0 = x0 / nrm
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(operator.n)
+    x -= (x0 @ x) * x0
+    x /= np.linalg.norm(x)
+
+    lam1 = 0.0
+    for it in range(1, max_iterations + 1):
+        y = operator.matvec(x)
+        y -= (x0 @ y) * x0  # deflate: project out the dominant direction
+        lam1 = float(x @ y)
+        residual = float(np.linalg.norm(y - lam1 * x))
+        nrm = np.linalg.norm(y)
+        if nrm == 0.0:
+            raise ConvergenceError("deflated iterate collapsed", iterations=it)
+        x = y / nrm
+        if residual < tol:
+            return lam1, x
+    raise ConvergenceError(
+        f"deflated power iteration did not reach tol={tol}",
+        iterations=max_iterations,
+        residual=residual,
+    )
+
+
+def spectral_gap(
+    operator: ImplicitOperator,
+    eigenvalue: float,
+    eigenvector: np.ndarray,
+    *,
+    tol: float = 1e-9,
+) -> float:
+    """The ratio ``λ₁/λ₀ ∈ (0, 1)`` — the power iteration's rate.
+
+    Values near 1 mean slow convergence *and* near-degeneracy of the
+    stationary distribution (threshold vicinity).
+    """
+    lam1, _ = deflated_second_eigenpair(operator, eigenvalue, eigenvector, tol=tol)
+    if eigenvalue <= 0.0:
+        raise ValidationError("dominant eigenvalue must be positive")
+    return abs(lam1) / float(eigenvalue)
+
+
+def estimate_rate_from_history(history: list[IterationRecord], *, tail: int = 10) -> float:
+    """Empirical convergence factor from a solver's residual history.
+
+    Fits the geometric decay of the last ``tail`` residuals; equals
+    ``λ₁/λ₀`` asymptotically for the (unshifted) power iteration.
+    """
+    resids = [h.residual for h in history if h.residual > 0.0 and math.isfinite(h.residual)]
+    if len(resids) < 3:
+        raise ValidationError("need at least 3 positive residuals to estimate a rate")
+    resids = resids[-max(3, tail):]
+    logs = np.log(resids)
+    steps = np.arange(len(logs))
+    slope = float(np.polyfit(steps, logs, 1)[0])
+    return float(np.exp(slope))
+
+
+def predicted_iterations(rate: float, *, start_residual: float, tol: float) -> int:
+    """Iterations needed for a geometric residual ``r_k = r₀·rate^k`` to
+    cross ``tol`` — the planning counterpart of the rate estimate."""
+    if not 0.0 < rate < 1.0:
+        raise ValidationError(f"rate must be in (0, 1), got {rate}")
+    if start_residual <= 0.0 or tol <= 0.0:
+        raise ValidationError("residuals must be positive")
+    if start_residual <= tol:
+        return 0
+    return int(math.ceil(math.log(tol / start_residual) / math.log(rate)))

@@ -1,0 +1,121 @@
+"""Population statistics of a stationary quasispecies distribution.
+
+These are the biological readouts a virologist would compute from the
+solver's output: the consensus sequence (per-site majority), the Shannon
+entropy of the mutant cloud, and how strongly the population localizes
+around the master sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.model.concentrations import class_concentrations, participation_ratio
+from repro.util.validation import check_chain_length, check_vector
+
+__all__ = [
+    "consensus_sequence",
+    "cloud_entropy",
+    "master_localization",
+    "summarize",
+    "QuasispeciesSummary",
+]
+
+
+def consensus_sequence(x: np.ndarray, nu: int) -> int:
+    """Per-site majority sequence of the distribution.
+
+    Site ``s`` of the consensus is 1 iff the total concentration of
+    sequences with bit ``s`` set exceeds 1/2.  For quasispecies
+    distributions below the error threshold this recovers the master
+    sequence even when no single sequence holds a majority.
+    """
+    nu = check_chain_length(nu)
+    x = check_vector(x, 1 << nu, "x")
+    total = float(x.sum())
+    if total <= 0.0:
+        raise ValidationError("distribution has no mass")
+    idx = np.arange(1 << nu, dtype=np.int64)
+    consensus = 0
+    for s in range(nu):
+        mass_one = float(x[(idx >> s) & 1 == 1].sum())
+        if mass_one > total / 2.0:
+            consensus |= 1 << s
+    return consensus
+
+
+def cloud_entropy(x: np.ndarray, *, base: float = 2.0, normalized: bool = False) -> float:
+    """Shannon entropy of the distribution (bits by default).
+
+    0 for a single dominant sequence, ``ν`` (=``log2 N``) for the
+    uniform distribution above the error threshold.  With
+    ``normalized=True`` the result is divided by ``log2 N`` to land in
+    [0, 1].
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValidationError("expected a non-empty 1-D distribution")
+    if np.any(x < 0.0):
+        raise ValidationError("concentrations must be non-negative")
+    total = float(x.sum())
+    if total <= 0.0:
+        raise ValidationError("distribution has no mass")
+    p = x / total
+    nz = p[p > 0.0]
+    h = float(-(nz * np.log(nz)).sum() / np.log(base))
+    if normalized:
+        h /= np.log(x.size) / np.log(base)
+    return h
+
+
+def master_localization(x: np.ndarray, nu: int, *, radius: int = 1) -> float:
+    """Fraction of the population within Hamming distance ``radius`` of
+    the master — the "localized" order parameter of the ordered phase."""
+    nu = check_chain_length(nu)
+    if not 0 <= radius <= nu:
+        raise ValidationError(f"radius must be in [0, {nu}], got {radius}")
+    gamma = class_concentrations(x, nu)
+    return float(gamma[: radius + 1].sum() / gamma.sum())
+
+
+@dataclass
+class QuasispeciesSummary:
+    """One-glance description of a stationary distribution."""
+
+    nu: int
+    consensus: int
+    dominant_index: int
+    dominant_concentration: float
+    entropy_bits: float
+    entropy_normalized: float
+    participation_ratio: float
+    localization_radius1: float
+    class_concentrations: np.ndarray
+
+    @property
+    def is_ordered(self) -> bool:
+        """Heuristic phase call: ordered if the cloud occupies a
+        vanishing fraction of sequence space (normalized entropy well
+        below the uniform value)."""
+        return self.entropy_normalized < 0.5
+
+
+def summarize(x: np.ndarray, nu: int) -> QuasispeciesSummary:
+    """Compute the full :class:`QuasispeciesSummary` of a distribution."""
+    nu = check_chain_length(nu)
+    x = check_vector(x, 1 << nu, "x")
+    dominant = int(np.argmax(x))
+    return QuasispeciesSummary(
+        nu=nu,
+        consensus=consensus_sequence(x, nu),
+        dominant_index=dominant,
+        dominant_concentration=float(x[dominant] / x.sum()),
+        entropy_bits=cloud_entropy(x),
+        entropy_normalized=cloud_entropy(x, normalized=True),
+        participation_ratio=participation_ratio(x),
+        localization_radius1=master_localization(x, nu, radius=1),
+        class_concentrations=class_concentrations(x, nu),
+    )

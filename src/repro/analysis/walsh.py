@@ -1,0 +1,70 @@
+"""Walsh-spectral analysis of landscapes and distributions.
+
+Section 2 diagonalizes ``Q`` in the Walsh basis; the same basis is the
+natural "Fourier" decomposition of fitness landscapes and stationary
+distributions over the Boolean cube.  The energy in popcount shell ``k``
+measures order-``k`` epistatic interaction strength — additive
+landscapes live in shells 0–1, pairwise-epistatic ones in shell 2, NK
+landscapes spread energy up to shell K+1.  The shell profile also
+predicts when the :class:`~repro.operators.truncated.TruncatedWalsh`
+compression is effective (energy concentrated in low shells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import ValidationError
+from repro.transforms.fwht import fwht
+from repro.util.validation import check_chain_length, check_vector
+
+__all__ = ["walsh_spectrum", "shell_energies", "epistasis_order", "effective_order"]
+
+
+def walsh_spectrum(x: np.ndarray, nu: int) -> np.ndarray:
+    """Walsh coefficients ``x̂ = V·x`` (orthonormal basis).
+
+    Parseval holds: ``‖x̂‖₂ = ‖x‖₂``.
+    """
+    nu = check_chain_length(nu)
+    x = check_vector(x, 1 << nu, "x")
+    return fwht(x, ortho=True)
+
+
+def shell_energies(x: np.ndarray, nu: int, *, normalized: bool = True) -> np.ndarray:
+    """Energy ``Σ_{popcount(i)=k} x̂_i²`` per shell ``k = 0..ν``.
+
+    With ``normalized=True`` the energies are divided by the total so
+    they sum to one.
+    """
+    spec = walsh_spectrum(x, nu)
+    labels = distance_to_master(nu)
+    energy = np.bincount(labels, weights=spec**2, minlength=nu + 1)
+    if normalized:
+        total = energy.sum()
+        if total <= 0.0:
+            raise ValidationError("zero vector has no shell energies")
+        energy = energy / total
+    return energy
+
+
+def epistasis_order(f: np.ndarray, nu: int, *, threshold: float = 1e-12) -> int:
+    """Highest shell carrying non-negligible energy — the interaction
+    order of a fitness landscape (0 = constant, 1 = additive,
+    2 = pairwise epistasis, …)."""
+    energy = shell_energies(f, nu)
+    above = np.nonzero(energy > threshold)[0]
+    return int(above.max()) if above.size else 0
+
+
+def effective_order(x: np.ndarray, nu: int, *, mass: float = 0.99) -> int:
+    """Smallest ``k`` such that shells ``0..k`` carry at least ``mass``
+    of the energy — the k_max the truncated-Walsh operator would need
+    to represent ``x`` at that fidelity."""
+    if not 0.0 < mass <= 1.0:
+        raise ValidationError(f"mass must be in (0, 1], got {mass}")
+    energy = shell_energies(x, nu)
+    cum = np.cumsum(energy)
+    idx = np.nonzero(cum >= mass - 1e-15)[0]
+    return int(idx[0]) if idx.size else nu

@@ -1,0 +1,119 @@
+"""Error classes ``Γ_{k,i}`` and XOR offset masks.
+
+The error class ``Γ_{k,i}`` (paper, Eq. 6) is the set of sequences at
+Hamming distance ``k`` from sequence ``i``; ``Γ_k := Γ_{k,0}`` are the
+classes around the master sequence and have ``C(ν, k)`` elements.
+
+The XOR structure of the problem makes every class around ``i`` a
+translate of the class around the master: ``Γ_{k,i} = {j ^ i : j ∈ Γ_k}``.
+We therefore only ever materialize master classes and XOR-shift them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import ValidationError
+from repro.util.binomial import binomial_row
+from repro.util.validation import check_chain_length
+
+__all__ = [
+    "error_class_labels",
+    "error_class_indices",
+    "error_class_sizes",
+    "error_class_representatives",
+    "masks_by_popcount",
+    "masks_up_to_distance",
+]
+
+
+def error_class_labels(nu: int) -> np.ndarray:
+    """Class index ``k = dH(X_i, X_0)`` for every sequence ``i`` (length N)."""
+    return distance_to_master(nu)
+
+
+def error_class_indices(nu: int, k: int, i: int = 0) -> np.ndarray:
+    """All members of ``Γ_{k,i}`` as a sorted ``int64`` array.
+
+    Parameters
+    ----------
+    nu:
+        Chain length.
+    k:
+        Hamming distance defining the class, ``0 <= k <= nu``.
+    i:
+        Center sequence (default: the master sequence ``X_0``).
+    """
+    nu = check_chain_length(nu)
+    n = 1 << nu
+    if not 0 <= k <= nu:
+        raise ValidationError(f"error class index k must be in [0, {nu}], got {k}")
+    if not 0 <= i < n:
+        raise ValidationError(f"center sequence i must be in [0, {n}), got {i}")
+    labels = distance_to_master(nu)
+    master_class = np.nonzero(labels == k)[0]
+    if i == 0:
+        return master_class
+    return np.sort(master_class ^ np.int64(i))
+
+
+def error_class_sizes(nu: int) -> np.ndarray:
+    """``|Γ_k| = C(ν, k)`` for ``k = 0..ν`` as ``float64``."""
+    nu = check_chain_length(nu, max_nu=10_000)
+    return binomial_row(nu)
+
+
+def error_class_representatives(nu: int) -> np.ndarray:
+    """The canonical representative ``2**k − 1`` of each class ``Γ_k``.
+
+    The paper (Sec. 5.1) suggests ``{2^k − 1 | 0 <= k <= ν}``: the sequence
+    with the ``k`` lowest bits set clearly has distance ``k`` from the
+    master.
+    """
+    nu = check_chain_length(nu)
+    return (np.int64(1) << np.arange(nu + 1, dtype=np.int64)) - 1
+
+
+def masks_by_popcount(nu: int, k: int) -> np.ndarray:
+    """All ν-bit masks with exactly ``k`` set bits, in increasing order.
+
+    These are the XOR offsets that connect a sequence to every member of
+    its distance-``k`` class; ``Xmvp`` iterates over them.  Uses Gosper's
+    hack to enumerate same-popcount integers in order without scanning all
+    ``2**ν`` values.
+    """
+    nu = check_chain_length(nu)
+    if not 0 <= k <= nu:
+        raise ValidationError(f"popcount k must be in [0, {nu}], got {k}")
+    if k == 0:
+        return np.zeros(1, dtype=np.int64)
+    import math
+
+    count = math.comb(nu, k)
+    out = np.empty(count, dtype=np.int64)
+    v = (1 << k) - 1
+    limit = 1 << nu
+    for idx in range(count):
+        out[idx] = v
+        if idx + 1 == count:
+            break
+        # Gosper's hack: next integer with the same popcount.
+        c = v & -v
+        r = v + c
+        v = (((r ^ v) >> 2) // c) | r
+        if v >= limit:  # pragma: no cover - guarded by the count
+            break
+    return out
+
+
+def masks_up_to_distance(nu: int, dmax: int) -> list[np.ndarray]:
+    """Masks grouped by popcount for all distances ``0..dmax``.
+
+    Returns a list of ``dmax + 1`` arrays; entry ``k`` holds the masks of
+    popcount ``k``.  This is the sparsity pattern of ``Xmvp(dmax)``.
+    """
+    nu = check_chain_length(nu)
+    if not 0 <= dmax <= nu:
+        raise ValidationError(f"dmax must be in [0, {nu}], got {dmax}")
+    return [masks_by_popcount(nu, k) for k in range(dmax + 1)]

@@ -1,0 +1,57 @@
+"""Gray-code reordering of sequence space.
+
+The paper (footnote 2) observes that reordering sequences by the Gray code
+— where consecutive codes differ in exactly one bit, i.e.
+``dH(X_{g(i)}, X_{g(i+1)}) = 1`` — makes the first off-diagonals of ``Q``
+constant.  We expose the permutation both for that structural experiment
+and as a general reindexing tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.util.validation import check_chain_length
+
+__all__ = ["gray_code", "gray_permutation", "inverse_permutation"]
+
+
+def gray_code(i: np.ndarray | int) -> np.ndarray | int:
+    """Binary-reflected Gray code ``g(i) = i ^ (i >> 1)`` (broadcasts)."""
+    arr = np.asarray(i)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValidationError("gray_code requires integer input")
+    out = arr ^ (arr >> 1)
+    if np.isscalar(i):
+        return int(out)
+    return out
+
+
+def gray_permutation(nu: int) -> np.ndarray:
+    """The permutation ``π`` with ``π[i] = gray_code(i)`` over ``0..2^ν−1``.
+
+    Applying it to indices reorders sequence space so consecutive rows of
+    ``Q`` correspond to sequences at Hamming distance one.
+    """
+    nu = check_chain_length(nu)
+    idx = np.arange(1 << nu, dtype=np.int64)
+    return gray_code(idx)
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse of a permutation given as an index array.
+
+    ``inverse_permutation(p)[p[i]] == i`` for all ``i``.
+    """
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        raise ValidationError("permutation must be one-dimensional")
+    n = perm.shape[0]
+    inv = np.empty(n, dtype=np.int64)
+    check = np.zeros(n, dtype=bool)
+    check[perm] = True
+    if not check.all():
+        raise ValidationError("input is not a permutation of 0..n-1")
+    inv[perm] = np.arange(n, dtype=np.int64)
+    return inv

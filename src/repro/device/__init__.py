@@ -1,0 +1,46 @@
+"""Simulated OpenCL-style device runtime (the paper's Sec. 4 substrate).
+
+The paper evaluates on an Nvidia Tesla C2050 through OpenCL.  This
+environment has no GPU, so — per the substitution policy in DESIGN.md —
+we execute the *same kernels* (scalar work-item semantics identical to
+the paper's Algorithm 2) on a simulated device:
+
+* numerics are real: each launch runs a vectorized batch implementation
+  whose semantics are verified against the scalar work-item function;
+* *time* is modeled: per-work-item byte/flop counts against the hardware
+  profile's memory bandwidth and peak FLOP rate (the paper itself notes
+  the kernels are bandwidth-bound: "the performance achieved on the GPUs
+  used exactly corresponds to their particular memory bandwidth").
+
+Components: :class:`~repro.device.profile.HardwareProfile` presets,
+:class:`~repro.device.buffer.DeviceBuffer`,
+:class:`~repro.device.kernel.Kernel`,
+:class:`~repro.device.runtime.Device`, the kernel library under
+``repro.device.kernels``, and the full on-device power iteration in
+:mod:`repro.device.pipeline`.
+"""
+
+from repro.device.profile import (
+    HardwareProfile,
+    TESLA_C2050,
+    INTEL_I5_750,
+    INTEL_I5_750_SINGLE_CORE,
+)
+from repro.device.buffer import DeviceBuffer
+from repro.device.kernel import Kernel, KernelCosts
+from repro.device.runtime import Device, LaunchRecord
+from repro.device.pipeline import DevicePowerIteration, DeviceRunReport
+
+__all__ = [
+    "HardwareProfile",
+    "TESLA_C2050",
+    "INTEL_I5_750",
+    "INTEL_I5_750_SINGLE_CORE",
+    "DeviceBuffer",
+    "Kernel",
+    "KernelCosts",
+    "Device",
+    "LaunchRecord",
+    "DevicePowerIteration",
+    "DeviceRunReport",
+]

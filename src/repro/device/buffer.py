@@ -1,0 +1,67 @@
+"""Device-resident buffers.
+
+A :class:`DeviceBuffer` wraps the NumPy array that *represents* device
+memory.  Host code must go through :meth:`repro.device.runtime.Device`
+transfer methods (which account PCIe time) rather than touching
+``.data`` directly — tests and kernels are the only sanctioned direct
+readers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+
+__all__ = ["DeviceBuffer"]
+
+
+class DeviceBuffer:
+    """A named, fixed-size float64 array living "on the device".
+
+    Parameters
+    ----------
+    name:
+        Identifier used by kernels to bind arguments.
+    size:
+        Number of float64 elements.
+    """
+
+    def __init__(self, name: str, size: int):
+        if size < 1:
+            raise DeviceError(f"buffer {name!r} must have positive size, got {size}")
+        self.name = str(name)
+        self.size = int(size)
+        self.data = np.zeros(self.size, dtype=np.float64)
+        self._released = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * 8
+
+    def write(self, host: np.ndarray) -> None:
+        """Copy host data in (no transfer accounting — Device does that)."""
+        self._check_alive()
+        host = np.asarray(host, dtype=np.float64)
+        if host.shape != (self.size,):
+            raise DeviceError(
+                f"buffer {self.name!r} has size {self.size}, got host array {host.shape}"
+            )
+        self.data[:] = host
+
+    def read(self) -> np.ndarray:
+        """Copy device data out (no transfer accounting — Device does that)."""
+        self._check_alive()
+        return self.data.copy()
+
+    def release(self) -> None:
+        """Mark the buffer freed; further use is an error."""
+        self._released = True
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise DeviceError(f"buffer {self.name!r} was released")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else f"{self.size} f64"
+        return f"DeviceBuffer({self.name!r}, {state})"

@@ -1,0 +1,86 @@
+"""Kernel abstraction: scalar work-item semantics + vectorized execution.
+
+An OpenCL kernel is a function of the work-item id.  Here each
+:class:`Kernel` carries **two** implementations of the same semantics:
+
+* ``scalar_fn(item_id, state, params) -> {(buffer, index): value}`` —
+  the executable specification: reads the pre-launch ``state`` (dict of
+  buffer-name → ndarray) and returns the writes this work item performs.
+  This is a line-for-line transcription of the paper's kernel pseudocode
+  (e.g. Algorithm 2 lines 3–7).
+* ``batch_fn(ids, buffers, params)`` — the vectorized NumPy
+  implementation that actually executes a launch.
+
+The runtime can *validate* a launch by replaying sampled work items
+through ``scalar_fn`` against a pre-launch snapshot and comparing with
+the post-launch buffers — sound because OpenCL forbids two work items of
+one launch from writing the same location (a property
+:meth:`repro.device.runtime.Device.launch` also spot-checks).
+
+Cost accounting is declared per work item (:class:`KernelCosts`), so a
+launch of ``G`` items moves ``G·bytes_per_item`` bytes and performs
+``G·flops_per_item`` flops under the roofline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+
+__all__ = ["Kernel", "KernelCosts"]
+
+ScalarFn = Callable[[int, Mapping[str, np.ndarray], Mapping], dict]
+BatchFn = Callable[[np.ndarray, Mapping[str, np.ndarray], Mapping], None]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Per-work-item cost declaration (for the roofline time model)."""
+
+    bytes_per_item: float
+    flops_per_item: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_item < 0 or self.flops_per_item < 0:
+            raise DeviceError("kernel costs must be non-negative")
+
+
+class Kernel:
+    """A named device kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (shows up in launch records).
+    scalar_fn:
+        Executable per-work-item specification (see module docstring).
+    batch_fn:
+        Vectorized implementation; mutates the bound buffers in place.
+    costs:
+        Per-item cost declaration.
+    buffer_names:
+        The buffer arguments the kernel binds, in order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scalar_fn: ScalarFn,
+        batch_fn: BatchFn,
+        costs: KernelCosts,
+        buffer_names: tuple[str, ...],
+    ):
+        self.name = str(name)
+        self.scalar_fn = scalar_fn
+        self.batch_fn = batch_fn
+        self.costs = costs
+        self.buffer_names = tuple(buffer_names)
+        if not self.buffer_names:
+            raise DeviceError(f"kernel {name!r} must bind at least one buffer")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Kernel({self.name!r}, buffers={self.buffer_names})"

@@ -1,0 +1,35 @@
+"""The device kernel library.
+
+Every kernel ships with both a scalar work-item specification (the
+paper's pseudocode, executable) and the vectorized batch implementation
+that actually runs — see :mod:`repro.device.kernel` for the contract.
+"""
+
+from repro.device.kernels.fmmp_kernel import fmmp_stage_kernel
+from repro.device.kernels.elementwise import (
+    scale_kernel,
+    pointwise_multiply_kernel,
+    multiply_into_kernel,
+    copy_kernel,
+    axpy_kernel,
+    square_into_kernel,
+    diff_square_into_kernel,
+    abs_kernel,
+)
+from repro.device.kernels.reduce_kernel import reduce_add_stage_kernel, tree_reduce_sum
+from repro.device.kernels.xmvp_kernel import xmvp_pass_kernel
+
+__all__ = [
+    "fmmp_stage_kernel",
+    "scale_kernel",
+    "pointwise_multiply_kernel",
+    "multiply_into_kernel",
+    "copy_kernel",
+    "axpy_kernel",
+    "square_into_kernel",
+    "diff_square_into_kernel",
+    "abs_kernel",
+    "reduce_add_stage_kernel",
+    "tree_reduce_sum",
+    "xmvp_pass_kernel",
+]

@@ -1,0 +1,144 @@
+"""Elementwise device kernels: scaling, products, axpy, norms' map steps.
+
+Beyond the matvec, the power iteration needs vector scaling (the
+normalization), diagonal products (applying ``F``), and the map halves
+of norm/residual reductions (paper Sec. 4: "the power iteration method
+only needs a fast procedure for the summation of the components of a
+vector").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.kernel import Kernel, KernelCosts
+
+__all__ = [
+    "scale_kernel",
+    "pointwise_multiply_kernel",
+    "multiply_into_kernel",
+    "copy_kernel",
+    "axpy_kernel",
+    "square_into_kernel",
+    "diff_square_into_kernel",
+    "abs_kernel",
+]
+
+
+# --------------------------------------------------------------------- scale
+def _scale_scalar(i, state, params):
+    return {("v", i): state["v"][i] * float(params["alpha"])}
+
+
+def _scale_batch(ids, buffers, params):
+    buffers["v"][ids] *= float(params["alpha"])
+
+
+#: ``v[i] *= alpha`` — used for 1-norm normalization.
+scale_kernel = Kernel(
+    "scale", _scale_scalar, _scale_batch, KernelCosts(16.0, 1.0), ("v",)
+)
+
+
+# ----------------------------------------------------------- diagonal product
+def _pmul_scalar(i, state, params):
+    return {("v", i): state["v"][i] * state["f"][i]}
+
+
+def _pmul_batch(ids, buffers, params):
+    buffers["v"][ids] *= buffers["f"][ids]
+
+
+#: ``v[i] *= f[i]`` — applies the diagonal ``F`` in place (right form).
+pointwise_multiply_kernel = Kernel(
+    "pointwise_multiply", _pmul_scalar, _pmul_batch, KernelCosts(24.0, 1.0), ("v", "f")
+)
+
+
+def _mulinto_scalar(i, state, params):
+    return {("dst", i): state["a"][i] * state["b"][i]}
+
+
+def _mulinto_batch(ids, buffers, params):
+    buffers["dst"][ids] = buffers["a"][ids] * buffers["b"][ids]
+
+
+#: ``dst[i] = a[i] * b[i]`` — out-of-place diagonal product.
+multiply_into_kernel = Kernel(
+    "multiply_into", _mulinto_scalar, _mulinto_batch, KernelCosts(24.0, 1.0), ("dst", "a", "b")
+)
+
+
+# ----------------------------------------------------------------------- copy
+def _copy_scalar(i, state, params):
+    return {("dst", i): state["src"][i]}
+
+
+def _copy_batch(ids, buffers, params):
+    buffers["dst"][ids] = buffers["src"][ids]
+
+
+#: ``dst[i] = src[i]`` — keeps the previous iterate for the residual.
+copy_kernel = Kernel(
+    "copy", _copy_scalar, _copy_batch, KernelCosts(16.0, 0.0), ("dst", "src")
+)
+
+
+# ----------------------------------------------------------------------- axpy
+def _axpy_scalar(i, state, params):
+    return {("y", i): state["y"][i] + float(params["alpha"]) * state["x"][i]}
+
+
+def _axpy_batch(ids, buffers, params):
+    buffers["y"][ids] += float(params["alpha"]) * buffers["x"][ids]
+
+
+#: ``y[i] += alpha·x[i]`` — the shift ``W−μI`` costs exactly one of these.
+axpy_kernel = Kernel(
+    "axpy", _axpy_scalar, _axpy_batch, KernelCosts(24.0, 2.0), ("y", "x")
+)
+
+
+# ------------------------------------------------------------------ map steps
+def _sq_scalar(i, state, params):
+    return {("dst", i): state["src"][i] ** 2}
+
+
+def _sq_batch(ids, buffers, params):
+    buffers["dst"][ids] = buffers["src"][ids] ** 2
+
+
+#: ``dst[i] = src[i]²`` — map half of a 2-norm reduction.
+square_into_kernel = Kernel(
+    "square_into", _sq_scalar, _sq_batch, KernelCosts(24.0, 1.0), ("dst", "src")
+)
+
+
+def _dsq_scalar(i, state, params):
+    d = state["a"][i] - state["b"][i]
+    return {("dst", i): d * d}
+
+
+def _dsq_batch(ids, buffers, params):
+    d = buffers["a"][ids] - buffers["b"][ids]
+    buffers["dst"][ids] = d * d
+
+
+#: ``dst[i] = (a[i]−b[i])²`` — map half of the residual ‖y−x‖₂.
+diff_square_into_kernel = Kernel(
+    "diff_square_into", _dsq_scalar, _dsq_batch, KernelCosts(32.0, 2.0), ("dst", "a", "b")
+)
+
+
+def _abs_scalar(i, state, params):
+    return {("dst", i): abs(state["src"][i])}
+
+
+def _abs_batch(ids, buffers, params):
+    buffers["dst"][ids] = np.abs(buffers["src"][ids])
+
+
+#: ``dst[i] = |src[i]|`` — map half of a 1-norm reduction.
+abs_kernel = Kernel(
+    "abs_into", _abs_scalar, _abs_batch, KernelCosts(24.0, 1.0), ("dst", "src")
+)

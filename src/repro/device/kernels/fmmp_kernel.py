@@ -1,0 +1,76 @@
+"""The Fmmp butterfly stage kernel — the paper's Algorithm 2, verbatim.
+
+One launch of ``N/2`` work items performs one butterfly stage of span
+``i`` in place.  Work item ``ID`` computes (Algorithm 2 lines 3–7)::
+
+    j ← 2·ID − (ID & (i−1))        # = 2·i·⌊ID/i⌋ + ID mod i
+    t1 ← v[j];  t2 ← v[j + i]
+    v[j]     ← m00·t1 + m01·t2     # paper: (1−p)·t1 + p·t2
+    v[j + i] ← m10·t1 + m11·t2     # paper: p·t1 + (1−p)·t2
+
+The index identity ``2·ID − (ID & (i−1)) = 2·i·⌊ID/i⌋ + ID mod i`` (valid
+because ``i`` is a power of two) is the paper's bit trick for replacing a
+modulo with an AND; it is property-tested in
+tests/test_device_kernels.py.  The host drives the ``log₂ N`` stage loop
+(see :mod:`repro.device.pipeline`).
+
+Cost per work item: 4 memory operations on f64 (2 loads + 2 stores) and
+6 flops (4 multiplies + 2 adds) — the ratio that makes the kernel
+bandwidth-bound, as the paper observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.kernel import Kernel, KernelCosts
+from repro.exceptions import DeviceError
+
+__all__ = ["fmmp_stage_kernel"]
+
+
+def _params(params) -> tuple[int, float, float, float, float]:
+    try:
+        span = int(params["span"])
+        m00 = float(params["m00"])
+        m01 = float(params["m01"])
+        m10 = float(params["m10"])
+        m11 = float(params["m11"])
+    except KeyError as exc:
+        raise DeviceError(f"fmmp_stage kernel missing parameter {exc}") from None
+    if span < 1 or (span & (span - 1)) != 0:
+        raise DeviceError(f"span must be a positive power of two, got {span}")
+    return span, m00, m01, m10, m11
+
+
+def _scalar(item_id: int, state, params) -> dict:
+    """Algorithm 2 lines 3–7 for a single work item."""
+    span, m00, m01, m10, m11 = _params(params)
+    v = state["v"]
+    j = 2 * item_id - (item_id & (span - 1))  # line 3
+    t1 = v[j]  # line 4
+    t2 = v[j + span]  # line 5
+    return {
+        ("v", j): m00 * t1 + m01 * t2,  # line 6
+        ("v", j + span): m10 * t1 + m11 * t2,  # line 7
+    }
+
+
+def _batch(ids: np.ndarray, buffers, params) -> None:
+    span, m00, m01, m10, m11 = _params(params)
+    v = buffers["v"]
+    j = 2 * ids - (ids & (span - 1))
+    t1 = v[j]
+    t2 = v[j + span]
+    v[j] = m00 * t1 + m01 * t2
+    v[j + span] = m10 * t1 + m11 * t2
+
+
+#: Singleton kernel object (stateless; parameters arrive per launch).
+fmmp_stage_kernel = Kernel(
+    name="fmmp_stage",
+    scalar_fn=_scalar,
+    batch_fn=_batch,
+    costs=KernelCosts(bytes_per_item=32.0, flops_per_item=6.0),
+    buffer_names=("v",),
+)

@@ -1,0 +1,62 @@
+"""Tree reduction on the device.
+
+The classic pairwise pattern: a stage with ``half`` work items folds the
+upper half of the active range onto the lower half
+(``v[ID] += v[ID + half]``); ``log₂ N`` launches leave the total in
+``v[0]``.  The paper (Sec. 4) notes this summation parallelizes well and
+contributes almost nothing to the power iteration's runtime — the cost
+model here lets the benches confirm that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.kernel import Kernel, KernelCosts
+from repro.device.runtime import Device
+from repro.exceptions import DeviceError
+
+__all__ = ["reduce_add_stage_kernel", "tree_reduce_sum"]
+
+
+def _reduce_scalar(i, state, params):
+    half = int(params["half"])
+    return {("v", i): state["v"][i] + state["v"][i + half]}
+
+
+def _reduce_batch(ids, buffers, params):
+    half = int(params["half"])
+    v = buffers["v"]
+    v[ids] += v[ids + half]
+
+
+#: One fold stage: ``v[ID] += v[ID + half]`` for ``ID < half``.
+reduce_add_stage_kernel = Kernel(
+    "reduce_add_stage",
+    _reduce_scalar,
+    _reduce_batch,
+    KernelCosts(bytes_per_item=24.0, flops_per_item=1.0),
+    ("v",),
+)
+
+
+def tree_reduce_sum(device: Device, buffer_name: str, n: int) -> float:
+    """Sum the first ``n`` elements of a buffer by ``log₂ n`` fold stages.
+
+    Destroys the buffer's contents (it is reduction scratch by contract)
+    and returns the total read back as a single-scalar transfer.
+
+    ``n`` must be a power of two — all pipeline vectors here are.
+    """
+    if n < 1 or (n & (n - 1)) != 0:
+        raise DeviceError(f"tree_reduce_sum needs a power-of-two length, got {n}")
+    buf = device.buffer(buffer_name)
+    if buf.size < n:
+        raise DeviceError(f"buffer {buffer_name!r} shorter than reduction length {n}")
+    half = n // 2
+    while half >= 1:
+        device.launch(
+            reduce_add_stage_kernel, half, {"half": half}, binding={"v": buffer_name}
+        )
+        half //= 2
+    return device.read_scalar(buffer_name, 0)

@@ -1,0 +1,52 @@
+"""The Xmvp XOR-gather pass kernel.
+
+One launch accumulates a single XOR offset ``m`` of the sparsified
+product (see :mod:`repro.operators.xmvp`): work item ``ID`` performs
+
+    acc[ID] += q · w[ID ^ m]
+
+The gather ``w[ID ^ m]`` is the scattered memory access the paper blames
+for Xmvp's fading competitiveness at large ν — the cost spec charges the
+same bytes as a streaming pass (an optimistic model for the GPU, which
+makes the measured Fmmp advantage in Figs. 3–4 a *lower* bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.kernel import Kernel, KernelCosts
+from repro.exceptions import DeviceError
+
+__all__ = ["xmvp_pass_kernel"]
+
+
+def _params(params) -> tuple[int, float]:
+    try:
+        mask = int(params["mask"])
+        q = float(params["q"])
+    except KeyError as exc:
+        raise DeviceError(f"xmvp_pass kernel missing parameter {exc}") from None
+    if mask < 0:
+        raise DeviceError(f"mask must be non-negative, got {mask}")
+    return mask, q
+
+
+def _scalar(item_id: int, state, params) -> dict:
+    mask, q = _params(params)
+    return {("acc", item_id): state["acc"][item_id] + q * state["w"][item_id ^ mask]}
+
+
+def _batch(ids: np.ndarray, buffers, params) -> None:
+    mask, q = _params(params)
+    buffers["acc"][ids] += q * buffers["w"][ids ^ mask]
+
+
+#: ``acc[ID] += q · w[ID ^ mask]`` over the full vector.
+xmvp_pass_kernel = Kernel(
+    name="xmvp_pass",
+    scalar_fn=_scalar,
+    batch_fn=_batch,
+    costs=KernelCosts(bytes_per_item=24.0, flops_per_item=2.0),
+    buffer_names=("acc", "w"),
+)

@@ -1,0 +1,107 @@
+"""Hardware profiles for the simulated device.
+
+The two machines of the paper's Sec. 4 experiments, with headline
+specifications taken from the vendor datasheets of the period:
+
+* **Nvidia Tesla C2050** — 3 GB GDDR5, 144 GB/s peak memory bandwidth,
+  515 GFLOP/s double precision, PCIe 2.0 x16 (≈6 GB/s effective).
+* **Intel Core i5-750** @ 2.67 GHz — 4 cores; the paper's reference
+  curves are effectively single-threaded, so a single-core profile is
+  provided too (DDR3-1333 dual channel ≈ 21 GB/s chip-level; a single
+  core sustains roughly half of that on streaming kernels).
+
+Sustained streaming bandwidth is below peak on every machine; the
+``efficiency`` field captures that derating (GPU STREAM-like kernels
+reach ~75–80 % of peak bandwidth, CPU cores ~60 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["HardwareProfile", "TESLA_C2050", "INTEL_I5_750", "INTEL_I5_750_SINGLE_CORE"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Performance-model description of one execution target.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    mem_bandwidth_gbs:
+        Peak main-memory bandwidth in GB/s.
+    peak_gflops:
+        Peak double-precision GFLOP/s.
+    transfer_bandwidth_gbs:
+        Host↔device transfer bandwidth in GB/s (PCIe for GPUs); ``0``
+        means the memory is host memory — no transfer cost.
+    launch_overhead_s:
+        Fixed cost per kernel launch (driver/dispatch latency); for a
+        CPU "launch" this is a function call, effectively 0.
+    efficiency:
+        Fraction of peak bandwidth/FLOPs sustained by streaming kernels.
+    """
+
+    name: str
+    mem_bandwidth_gbs: float
+    peak_gflops: float
+    transfer_bandwidth_gbs: float = 0.0
+    launch_overhead_s: float = 0.0
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mem_bandwidth_gbs <= 0 or self.peak_gflops <= 0:
+            raise ValidationError("bandwidth and peak flops must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValidationError("efficiency must be in (0, 1]")
+        if self.transfer_bandwidth_gbs < 0 or self.launch_overhead_s < 0:
+            raise ValidationError("transfer bandwidth and launch overhead must be >= 0")
+
+    # ------------------------------------------------------------- modeling
+    def kernel_time(self, bytes_moved: float, flops: float) -> float:
+        """Roofline time for one kernel: launch overhead plus the larger
+        of the bandwidth-bound and compute-bound durations."""
+        mem_t = bytes_moved / (self.mem_bandwidth_gbs * self.efficiency * 1e9)
+        cmp_t = flops / (self.peak_gflops * self.efficiency * 1e9)
+        return self.launch_overhead_s + max(mem_t, cmp_t)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Host↔device transfer duration (0 for host-resident memory)."""
+        if self.transfer_bandwidth_gbs == 0.0:
+            return 0.0
+        return nbytes / (self.transfer_bandwidth_gbs * 1e9)
+
+
+#: The paper's GPU (Sec. 4, Fig. 3/4).
+TESLA_C2050 = HardwareProfile(
+    name="Nvidia Tesla C2050",
+    mem_bandwidth_gbs=144.0,
+    peak_gflops=515.0,
+    transfer_bandwidth_gbs=6.0,
+    launch_overhead_s=5e-6,
+    efficiency=0.78,
+)
+
+#: The paper's CPU reference, all four cores.
+INTEL_I5_750 = HardwareProfile(
+    name="Intel i5-750 @ 2.67GHz (4 cores)",
+    mem_bandwidth_gbs=21.0,
+    peak_gflops=42.7,  # 4 cores x 2.67 GHz x 4 DP flops/cycle (SSE)
+    transfer_bandwidth_gbs=0.0,
+    launch_overhead_s=0.0,
+    efficiency=0.6,
+)
+
+#: Single-core variant — the baseline Pi(Xmvp(nu)) reference runs here.
+INTEL_I5_750_SINGLE_CORE = HardwareProfile(
+    name="Intel i5-750 @ 2.67GHz (1 core)",
+    mem_bandwidth_gbs=10.5,
+    peak_gflops=10.7,  # 2.67 GHz x 4 DP flops/cycle
+    transfer_bandwidth_gbs=0.0,
+    launch_overhead_s=0.0,
+    efficiency=0.6,
+)

@@ -1,0 +1,232 @@
+"""The simulated device: buffer management, kernel launches, accounting.
+
+Execution is numerically real (the vectorized batch path); *time* is
+modeled with the roofline formula of the bound
+:class:`~repro.device.profile.HardwareProfile`.  Every launch and
+transfer is recorded, so a pipeline can report modeled wall-clock,
+kernel counts, and traffic — the quantities behind Figures 3 and 4.
+
+Validation: ``Device(validate=True)`` replays every launch's sampled
+work items through the kernel's scalar specification against a
+pre-launch snapshot and raises :class:`DeviceError` on any divergence.
+This is how we demonstrate that the vectorized implementations have
+exactly the semantics of the paper's Algorithm 2 (see
+tests/test_device_kernels.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.buffer import DeviceBuffer
+from repro.device.kernel import Kernel
+from repro.device.profile import HardwareProfile
+from repro.exceptions import DeviceError
+from repro.util.rng import as_generator
+
+__all__ = ["Device", "LaunchRecord"]
+
+
+@dataclass
+class LaunchRecord:
+    """Bookkeeping for one kernel launch."""
+
+    kernel: str
+    global_size: int
+    modeled_time_s: float
+    bytes_moved: float
+    flops: float
+
+
+@dataclass
+class _Accounting:
+    kernel_time_s: float = 0.0
+    transfer_time_s: float = 0.0
+    launches: int = 0
+    bytes_moved: float = 0.0
+    bytes_transferred: float = 0.0
+    flops: float = 0.0
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.kernel_time_s + self.transfer_time_s
+
+
+class Device:
+    """A simulated accelerator bound to a hardware profile.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`HardwareProfile` used for time modeling.
+    validate:
+        Replay sampled work items through each kernel's scalar
+        specification after every launch (slow; for tests).
+    validate_samples:
+        Work items sampled per launch in validation mode (all items when
+        the launch is smaller).
+    seed:
+        Seed for validation sampling.
+    record_launches:
+        Keep a :class:`LaunchRecord` per launch (disable for very long
+        pipelines to bound memory).
+    """
+
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        *,
+        validate: bool = False,
+        validate_samples: int = 64,
+        seed: int | None = 0,
+        record_launches: bool = True,
+    ):
+        self.profile = profile
+        self.validate = bool(validate)
+        self.validate_samples = int(validate_samples)
+        self.record_launches = bool(record_launches)
+        self._rng = as_generator(seed)
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self.accounting = _Accounting()
+
+    # ------------------------------------------------------------- buffers
+    def alloc(self, name: str, size: int) -> DeviceBuffer:
+        """Allocate a named device buffer."""
+        if name in self._buffers:
+            raise DeviceError(f"buffer {name!r} already allocated")
+        buf = DeviceBuffer(name, size)
+        self._buffers[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        """Release a buffer."""
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise DeviceError(f"no buffer named {name!r}")
+        buf.release()
+
+    def buffer(self, name: str) -> DeviceBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise DeviceError(f"no buffer named {name!r}") from None
+
+    # ------------------------------------------------------------ transfers
+    def to_device(self, name: str, host: np.ndarray) -> DeviceBuffer:
+        """Host → device copy with transfer-time accounting."""
+        buf = self.buffer(name)
+        buf.write(host)
+        self.accounting.transfer_time_s += self.profile.transfer_time(buf.nbytes)
+        self.accounting.bytes_transferred += buf.nbytes
+        return buf
+
+    def from_device(self, name: str) -> np.ndarray:
+        """Device → host copy with transfer-time accounting."""
+        buf = self.buffer(name)
+        self.accounting.transfer_time_s += self.profile.transfer_time(buf.nbytes)
+        self.accounting.bytes_transferred += buf.nbytes
+        return buf.read()
+
+    def read_scalar(self, name: str, index: int = 0) -> float:
+        """Read one element (e.g. a reduction result) — 8-byte transfer.
+
+        This is how the host polls residuals/norms each iteration without
+        paying a full-vector readback, as a real pipeline would.
+        """
+        buf = self.buffer(name)
+        if not 0 <= index < buf.size:
+            raise DeviceError(f"index {index} out of range for buffer {name!r}")
+        self.accounting.transfer_time_s += self.profile.transfer_time(8.0)
+        self.accounting.bytes_transferred += 8.0
+        return float(buf.data[index])
+
+    # -------------------------------------------------------------- launch
+    def launch(
+        self,
+        kernel: Kernel,
+        global_size: int,
+        params: dict | None = None,
+        binding: dict[str, str] | None = None,
+    ) -> None:
+        """Execute ``kernel`` over work items ``0 .. global_size-1``.
+
+        Numerics run through the vectorized ``batch_fn``; the modeled
+        duration is added to the accounting.  In validation mode, a
+        sample of work items is replayed through the scalar
+        specification first and compared against the batch result.
+
+        Parameters
+        ----------
+        kernel, global_size, params:
+            The kernel, its ND-range size, and its scalar parameters.
+        binding:
+            Maps the kernel's *formal* buffer names to actual device
+            buffer names (identity by default) — the simulated analogue
+            of ``clSetKernelArg``.
+        """
+        if global_size < 1:
+            raise DeviceError(f"global_size must be >= 1, got {global_size}")
+        params = dict(params or {})
+        binding = binding or {}
+        state = {}
+        for bname in kernel.buffer_names:
+            state[bname] = self.buffer(binding.get(bname, bname)).data
+
+        snapshot = None
+        if self.validate:
+            snapshot = {k: v.copy() for k, v in state.items()}
+
+        ids = np.arange(global_size, dtype=np.int64)
+        kernel.batch_fn(ids, state, params)
+
+        if self.validate:
+            self._validate_launch(kernel, global_size, snapshot, state, params)
+
+        bytes_moved = kernel.costs.bytes_per_item * global_size
+        flops = kernel.costs.flops_per_item * global_size
+        t = self.profile.kernel_time(bytes_moved, flops)
+        acct = self.accounting
+        acct.kernel_time_s += t
+        acct.launches += 1
+        acct.bytes_moved += bytes_moved
+        acct.flops += flops
+        if self.record_launches:
+            acct.records.append(
+                LaunchRecord(kernel.name, global_size, t, bytes_moved, flops)
+            )
+
+    def _validate_launch(self, kernel, global_size, snapshot, state, params) -> None:
+        """Replay sampled work items through the scalar spec."""
+        if global_size <= self.validate_samples:
+            sample = np.arange(global_size)
+        else:
+            sample = self._rng.choice(global_size, size=self.validate_samples, replace=False)
+        seen_writes: set[tuple[str, int]] = set()
+        for item in sample:
+            writes = kernel.scalar_fn(int(item), snapshot, params)
+            for (bname, idx), value in writes.items():
+                key = (bname, int(idx))
+                if key in seen_writes:
+                    raise DeviceError(
+                        f"kernel {kernel.name!r}: work items write overlapping "
+                        f"location {key} — illegal in a single launch"
+                    )
+                seen_writes.add(key)
+                actual = state[bname][idx]
+                if not np.isclose(actual, value, rtol=1e-12, atol=1e-300):
+                    raise DeviceError(
+                        f"kernel {kernel.name!r} divergence at item {item}, "
+                        f"{bname}[{idx}]: scalar spec {value!r} vs batch {actual!r}"
+                    )
+
+    # ------------------------------------------------------------- reports
+    def reset_accounting(self) -> None:
+        self.accounting = _Accounting()
+
+    @property
+    def modeled_time_s(self) -> float:
+        """Total modeled wall-clock so far (kernels + transfers)."""
+        return self.accounting.total_time_s

@@ -1,0 +1,91 @@
+"""Cluster description: node profiles plus a point-to-point link model.
+
+The communication model is the standard α–β (latency–bandwidth) model:
+``t(n bytes) = α + n/β``.  Collectives are modeled as hypercube
+algorithms over the same links (log₂R stages), which matches the
+pairwise-exchange structure the distributed butterfly needs anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.profile import HardwareProfile, TESLA_C2050
+from repro.exceptions import ValidationError
+
+__all__ = ["CommLink", "ClusterProfile", "INFINIBAND_QDR"]
+
+
+@dataclass(frozen=True)
+class CommLink:
+    """α–β model of one point-to-point link.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency α.
+    bandwidth_gbs:
+        Sustained bandwidth β in GB/s.
+    """
+
+    latency_s: float
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_gbs <= 0:
+            raise ValidationError("latency must be >= 0 and bandwidth > 0")
+
+    def time(self, nbytes: float) -> float:
+        """Duration of one message of ``nbytes``."""
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+#: QDR InfiniBand, the 2011-era cluster interconnect: ~1.3 µs latency,
+#: ~3.2 GB/s effective per direction.
+INFINIBAND_QDR = CommLink(latency_s=1.3e-6, bandwidth_gbs=3.2)
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """``R`` identical nodes joined by a uniform link model.
+
+    Attributes
+    ----------
+    node:
+        Per-node :class:`HardwareProfile` (compute + memory roofline).
+    link:
+        Point-to-point :class:`CommLink`.
+    ranks:
+        Number of ranks, a power of two (hypercube collectives).
+    """
+
+    node: HardwareProfile
+    link: CommLink
+    ranks: int
+
+    def __post_init__(self) -> None:
+        r = self.ranks
+        if not isinstance(r, int) or r < 1 or (r & (r - 1)) != 0:
+            raise ValidationError(f"ranks must be a power of two >= 1, got {r}")
+
+    @property
+    def dimensions(self) -> int:
+        """Hypercube dimension ``log₂ R``."""
+        return self.ranks.bit_length() - 1
+
+    # ------------------------------------------------------------ modeling
+    def exchange_time(self, nbytes_per_rank: float) -> float:
+        """Pairwise block exchange along one hypercube dimension (each
+        rank sends and receives ``nbytes_per_rank``; full duplex)."""
+        return self.link.time(nbytes_per_rank)
+
+    def allreduce_time(self, nbytes: float = 8.0) -> float:
+        """Hypercube allreduce of a small value: log₂R pairwise steps."""
+        if self.ranks == 1:
+            return 0.0
+        return self.dimensions * self.link.time(nbytes)
+
+
+def gpu_cluster(ranks: int, *, node: HardwareProfile = TESLA_C2050, link: CommLink = INFINIBAND_QDR) -> ClusterProfile:
+    """Convenience constructor: ``ranks`` Tesla-class nodes on QDR IB."""
+    return ClusterProfile(node=node, link=link, ranks=ranks)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library-level failures with a
+single ``except`` clause while letting genuine programming errors
+(``TypeError`` from NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ConvergenceError",
+    "IncompatibleStructureError",
+    "DeviceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or structure).
+
+    Inherits from :class:`ValueError` so generic callers that expect
+    ``ValueError`` for bad arguments keep working.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm when the solver stopped.
+    """
+
+    def __init__(self, message: str, *, iterations: int = -1, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class IncompatibleStructureError(ReproError, ValueError):
+    """Two structured objects (e.g. Kronecker-factored ``Q`` and ``F``)
+    cannot be combined because their factorizations do not line up."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Misuse of the simulated device runtime (stale buffers, bad launch
+    geometry, kernel cost-spec violations, ...)."""

@@ -1,0 +1,5 @@
+"""Persistence of solver results and sweeps (NumPy ``.npz`` archives)."""
+
+from repro.io.results import save_result, load_result, save_sweep, load_sweep
+
+__all__ = ["save_result", "load_result", "save_sweep", "load_sweep"]

@@ -1,0 +1,107 @@
+"""Save/load :class:`SolveResult` and :class:`ThresholdSweep` objects.
+
+Format: a single ``.npz`` archive per object.  Arrays are stored
+natively; scalar metadata goes through a JSON side-channel entry so the
+archive stays self-describing and future-proof (unknown keys are
+ignored on load).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.model.threshold import ThresholdSweep
+from repro.solvers.result import IterationRecord, SolveResult
+
+__all__ = ["save_result", "load_result", "save_sweep", "load_sweep"]
+
+_RESULT_KIND = "repro.SolveResult.v1"
+_SWEEP_KIND = "repro.ThresholdSweep.v1"
+
+
+def save_result(path: str, result: SolveResult) -> None:
+    """Persist a solve result to ``path`` (``.npz``)."""
+    meta = {
+        "kind": _RESULT_KIND,
+        "eigenvalue": result.eigenvalue,
+        "iterations": result.iterations,
+        "residual": result.residual,
+        "converged": bool(result.converged),
+        "method": result.method,
+    }
+    history = np.array(
+        [(h.iteration, h.eigenvalue, h.residual) for h in result.history],
+        dtype=np.float64,
+    ).reshape(-1, 3)
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        eigenvector=result.eigenvector,
+        concentrations=result.concentrations,
+        history=history,
+    )
+
+
+def _read_meta(archive, expected_kind: str) -> dict:
+    try:
+        raw = bytes(archive["meta"].tobytes()).decode()
+        meta = json.loads(raw)
+    except (KeyError, ValueError) as exc:
+        raise ValidationError(f"not a repro archive: {exc}") from exc
+    if meta.get("kind") != expected_kind:
+        raise ValidationError(
+            f"archive kind {meta.get('kind')!r} does not match expected {expected_kind!r}"
+        )
+    return meta
+
+
+def load_result(path: str) -> SolveResult:
+    """Load a solve result saved by :func:`save_result`."""
+    with np.load(path) as archive:
+        meta = _read_meta(archive, _RESULT_KIND)
+        history = [
+            IterationRecord(int(row[0]), float(row[1]), float(row[2]))
+            for row in archive["history"]
+        ]
+        return SolveResult(
+            eigenvalue=float(meta["eigenvalue"]),
+            eigenvector=archive["eigenvector"].copy(),
+            concentrations=archive["concentrations"].copy(),
+            iterations=int(meta["iterations"]),
+            residual=float(meta["residual"]),
+            converged=bool(meta["converged"]),
+            method=str(meta["method"]),
+            history=history,
+        )
+
+
+def save_sweep(path: str, sweep: ThresholdSweep) -> None:
+    """Persist an error-rate sweep to ``path`` (``.npz``)."""
+    meta = {
+        "kind": _SWEEP_KIND,
+        "nu": sweep.nu,
+        "p_max": sweep.p_max,
+        "landscape_name": sweep.landscape_name,
+    }
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        error_rates=sweep.error_rates,
+        class_concentrations=sweep.class_concentrations,
+    )
+
+
+def load_sweep(path: str) -> ThresholdSweep:
+    """Load a sweep saved by :func:`save_sweep`."""
+    with np.load(path) as archive:
+        meta = _read_meta(archive, _SWEEP_KIND)
+        return ThresholdSweep(
+            nu=int(meta["nu"]),
+            error_rates=archive["error_rates"].copy(),
+            class_concentrations=archive["class_concentrations"].copy(),
+            p_max=None if meta["p_max"] is None else float(meta["p_max"]),
+            landscape_name=str(meta.get("landscape_name", "")),
+        )

@@ -1,0 +1,43 @@
+"""Fitness landscapes ``F = diag(f_0 … f_{N−1})``.
+
+The paper distinguishes three structural regimes, all represented here:
+
+* **general** — arbitrary positive diagonal
+  (:class:`~repro.landscapes.custom.TabulatedLandscape`,
+  :class:`~repro.landscapes.random_.RandomLandscape` per Eq. 13); solved
+  with the full ``Θ(N log₂ N)`` machinery;
+* **Hamming-distance based** — ``f_i = ϕ(dH(i, 0))``
+  (:class:`~repro.landscapes.hamming.HammingLandscape` and the classic
+  :class:`~repro.landscapes.singlepeak.SinglePeakLandscape` /
+  :class:`~repro.landscapes.linear.LinearLandscape`); solvable exactly by
+  the (ν+1)-dimensional reduction of Sec. 5.1;
+* **Kronecker** — ``F = ⊗ F_{G_i}`` (Eq. 18,
+  :class:`~repro.landscapes.kronecker.KroneckerLandscape`); decouples the
+  eigenproblem entirely (Sec. 5.2).
+"""
+
+from repro.landscapes.base import FitnessLandscape
+from repro.landscapes.custom import TabulatedLandscape
+from repro.landscapes.hamming import HammingLandscape
+from repro.landscapes.singlepeak import SinglePeakLandscape
+from repro.landscapes.linear import LinearLandscape
+from repro.landscapes.random_ import RandomLandscape
+from repro.landscapes.kronecker import KroneckerLandscape
+from repro.landscapes.epistatic import (
+    AdditiveLandscape,
+    MultiplicativeLandscape,
+    NKLandscape,
+)
+
+__all__ = [
+    "AdditiveLandscape",
+    "MultiplicativeLandscape",
+    "NKLandscape",
+    "FitnessLandscape",
+    "TabulatedLandscape",
+    "HammingLandscape",
+    "SinglePeakLandscape",
+    "LinearLandscape",
+    "RandomLandscape",
+    "KroneckerLandscape",
+]

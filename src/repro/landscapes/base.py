@@ -1,0 +1,110 @@
+"""Abstract fitness landscape interface.
+
+A landscape is the positive diagonal of ``F`` in ``W = Q · F``.  Concrete
+classes differ in *structure*, which the solvers exploit:
+
+* :meth:`FitnessLandscape.values` materializes the diagonal (guarded, for
+  the full solvers),
+* :meth:`FitnessLandscape.class_values` exposes the ν+1 values of a
+  Hamming-distance landscape (for the exact reduction of Sec. 5.1),
+* Kronecker landscapes override :attr:`FitnessLandscape.kron_diagonals`
+  (for the decoupled solver of Sec. 5.2).
+
+``fmin``/``fmax`` are available on every landscape without materializing
+the diagonal — the power-iteration shift ``μ = (1−2p)^ν f_min`` and the
+eigenvalue bound ``λ_0 <= f_max`` (Sec. 3) only need these.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.util.validation import check_chain_length
+
+__all__ = ["FitnessLandscape"]
+
+
+class FitnessLandscape(abc.ABC):
+    """Positive diagonal fitness matrix ``F`` for chain length ``ν``.
+
+    Attributes
+    ----------
+    nu:
+        Chain length.
+    n:
+        Dimension ``N = 2**ν``.
+    """
+
+    def __init__(self, nu: int, *, max_nu: int | None = None):
+        kwargs = {} if max_nu is None else {"max_nu": max_nu}
+        self.nu = check_chain_length(nu, **kwargs)
+        self.n = 1 << self.nu
+
+    # ------------------------------------------------------------------ api
+    @abc.abstractmethod
+    def values(self) -> np.ndarray:
+        """The full diagonal ``(f_0, …, f_{N−1})`` as ``float64``.
+
+        Implementations must return a fresh (or read-only) array and are
+        expected to refuse chain lengths where ``N`` doubles would be
+        unreasonable.
+        """
+
+    @property
+    @abc.abstractmethod
+    def fmin(self) -> float:
+        """``min_i f_i > 0`` — enters the convergence shift."""
+
+    @property
+    @abc.abstractmethod
+    def fmax(self) -> float:
+        """``max_i f_i`` — upper bound for the dominant eigenvalue λ₀."""
+
+    # -------------------------------------------------------- structure API
+    @property
+    def is_error_class_landscape(self) -> bool:
+        """True if ``f_i`` depends only on ``dH(i, 0)`` (Sec. 5.1)."""
+        return False
+
+    def class_values(self) -> np.ndarray:
+        """The ν+1 values ``FΓ_k = ϕ(k)`` of an error-class landscape.
+
+        Raises
+        ------
+        ValidationError
+            If this landscape is not Hamming-distance based.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} is not an error-class landscape; "
+            "the (nu+1)-dimensional reduction does not apply"
+        )
+
+    @property
+    def kron_diagonals(self) -> list[np.ndarray] | None:
+        """Diagonals of the Kronecker factors ``F_{G_i}`` (paper ⊗ order),
+        or ``None`` when the landscape has no Kronecker structure."""
+        return None
+
+    # ------------------------------------------------------- shared helpers
+    def start_vector(self) -> np.ndarray:
+        """The paper's power-iteration start ``s = diag(F) / ‖diag(F)‖₁``.
+
+        Chosen because the dominant eigenvector of ``W = Q·F`` resembles
+        the landscape itself (Sec. 3).
+        """
+        f = self.values()
+        return f / f.sum()
+
+    def _check_positive_values(self, f: np.ndarray) -> np.ndarray:
+        f = np.asarray(f, dtype=np.float64)
+        if f.shape != (self.n,):
+            raise ValidationError(f"landscape must have {self.n} values, got {f.shape}")
+        if not np.all(np.isfinite(f)) or np.any(f <= 0.0):
+            raise ValidationError("all fitness values must be finite and > 0")
+        return f
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(nu={self.nu})"

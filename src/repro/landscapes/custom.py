@@ -1,0 +1,74 @@
+"""Explicitly tabulated (fully general) fitness landscapes.
+
+This is the "no assumptions beyond diagonality" case that the paper's
+fast solver targets: all ``N`` degrees of freedom are free, nothing is
+reduced, and the eigenvector has no structure to exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.popcount import distance_to_master
+from repro.landscapes.base import FitnessLandscape
+
+__all__ = ["TabulatedLandscape"]
+
+
+class TabulatedLandscape(FitnessLandscape):
+    """Landscape given by an explicit vector of ``N = 2**ν`` values.
+
+    Parameters
+    ----------
+    values:
+        Positive fitness values ``(f_0, …, f_{N−1})``; ``N`` must be a
+        power of two.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ls = TabulatedLandscape([2.0, 1.0, 1.0, 1.0])
+    >>> ls.nu, ls.fmax, ls.fmin
+    (2, 2.0, 1.0)
+    """
+
+    def __init__(self, values: np.ndarray):
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        n = arr.shape[0]
+        if n < 2 or (n & (n - 1)) != 0:
+            from repro.exceptions import ValidationError
+
+            raise ValidationError(f"landscape length must be a power of two >= 2, got {n}")
+        super().__init__(n.bit_length() - 1)
+        self._values = self._check_positive_values(arr).copy()
+        self._values.setflags(write=False)
+
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def fmin(self) -> float:
+        return float(self._values.min())
+
+    @property
+    def fmax(self) -> float:
+        return float(self._values.max())
+
+    @property
+    def is_error_class_landscape(self) -> bool:
+        """Detected by inspection: constant within every error class Γ_k."""
+        labels = distance_to_master(self.nu)
+        for k in range(self.nu + 1):
+            vals = self._values[labels == k]
+            if vals.size and not np.all(vals == vals[0]):
+                return False
+        return True
+
+    def class_values(self) -> np.ndarray:
+        if not self.is_error_class_landscape:
+            return super().class_values()  # raises with the right message
+        labels = distance_to_master(self.nu)
+        reps = np.zeros(self.nu + 1)
+        for k in range(self.nu + 1):
+            reps[k] = self._values[labels == k][0]
+        return reps

@@ -1,0 +1,80 @@
+"""Hamming-distance based (error-class) fitness landscapes.
+
+``f_i = ϕ(dH(i, 0))`` — every sequence in error class ``Γ_k`` has fitness
+``ϕ(k)``.  This is the structure almost the entire quasispecies
+literature assumes (paper, Sec. 1.2 / 5.1) and the one for which the
+exact (ν+1)-dimensional reduction applies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+
+__all__ = ["HammingLandscape"]
+
+
+class HammingLandscape(FitnessLandscape):
+    """Landscape defined by a function ``ϕ`` of the distance to the master.
+
+    Parameters
+    ----------
+    nu:
+        Chain length.
+    phi:
+        Either a callable ``ϕ(k) → fitness`` evaluated for
+        ``k = 0 … ν``, or a sequence of ν+1 fitness values.
+
+    Notes
+    -----
+    Because only ν+1 values are stored, instances are valid for very long
+    chains; :meth:`values` (which materializes ``2**ν`` floats) is the
+    only guarded operation.
+    """
+
+    #: materializing the full diagonal beyond this is refused
+    _MAX_FULL_NU = 26
+
+    def __init__(self, nu: int, phi: Callable[[int], float] | Sequence[float]):
+        super().__init__(nu, max_nu=10_000)
+        if callable(phi):
+            vals = np.array([float(phi(k)) for k in range(self.nu + 1)])
+        else:
+            vals = np.asarray(phi, dtype=np.float64).reshape(-1)
+            if vals.shape[0] != self.nu + 1:
+                raise ValidationError(
+                    f"phi must provide nu+1={self.nu + 1} class values, got {vals.shape[0]}"
+                )
+        if not np.all(np.isfinite(vals)) or np.any(vals <= 0.0):
+            raise ValidationError("all class fitness values must be finite and > 0")
+        self._class_values = vals
+        self._class_values.setflags(write=False)
+
+    def values(self) -> np.ndarray:
+        if self.nu > self._MAX_FULL_NU:
+            raise ValidationError(
+                f"materializing 2**{self.nu} fitness values refused; "
+                "use class_values() with the reduced solver"
+            )
+        return self._class_values[distance_to_master(self.nu)]
+
+    @property
+    def fmin(self) -> float:
+        return float(self._class_values.min())
+
+    @property
+    def fmax(self) -> float:
+        return float(self._class_values.max())
+
+    @property
+    def is_error_class_landscape(self) -> bool:
+        return True
+
+    def class_values(self) -> np.ndarray:
+        """The ν+1 values ``FΓ_k = ϕ(k)``."""
+        return self._class_values

@@ -1,0 +1,43 @@
+"""The linear fitness landscape.
+
+``f_i = f_0 − (f_0 − f_ν) · dH(i, 0)/ν`` — fitness decays linearly with
+distance from the master (paper, Fig. 1 right: ``ν = 20``, ``f_0 = 2``,
+``f_ν = 1``).  For this landscape the transition into the uniform
+distribution is *smooth*: no error-threshold phenomenon occurs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.landscapes.hamming import HammingLandscape
+from repro.util.validation import check_positive
+
+__all__ = ["LinearLandscape"]
+
+
+class LinearLandscape(HammingLandscape):
+    """Linearly interpolated fitness between master and antipode.
+
+    Parameters
+    ----------
+    nu:
+        Chain length.
+    f0:
+        Fitness of the master sequence (class Γ₀); paper uses 2.
+    fnu:
+        Fitness of the antipodal class Γ_ν; paper uses 1.  Must satisfy
+        ``0 < fnu <= f0``.
+    """
+
+    def __init__(self, nu: int, f0: float = 2.0, fnu: float = 1.0):
+        f0 = check_positive(f0, "f0")
+        fnu = check_positive(fnu, "fnu")
+        if fnu > f0:
+            raise ValidationError(f"linear landscape needs fnu <= f0, got {fnu} > {f0}")
+        self.f0 = f0
+        self.fnu = fnu
+        slope = (f0 - fnu) / nu
+        super().__init__(nu, lambda k: f0 - slope * k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearLandscape(nu={self.nu}, f0={self.f0}, fnu={self.fnu})"

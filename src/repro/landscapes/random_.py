@@ -1,0 +1,67 @@
+"""Random fitness landscapes (paper, Eq. 13).
+
+The paper's experiments deliberately avoid structural assumptions and use
+
+    f_0 = c,       f_i = σ · (η_rnd(i) + 0.5)   for i >= 1,
+
+with ``c > 0``, ``σ ∈ (0, c/2)`` and ``η_rnd`` uniform on [0, 1] — a
+master sequence at fitness ``c`` over a rugged floor in
+``[σ/2, 3σ/2] ⊂ (0, c)``.  Figure 3 uses ``c = 5``, ``σ = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive
+
+__all__ = ["RandomLandscape"]
+
+
+class RandomLandscape(FitnessLandscape):
+    """Unstructured random landscape per Eq. (13).
+
+    Parameters
+    ----------
+    nu:
+        Chain length (the full ``2**ν`` values are materialized, so the
+        usual guard applies).
+    c:
+        Master-sequence fitness (paper: 5).
+    sigma:
+        Scale of the random floor; must lie in ``(0, c/2)`` so the master
+        stays the fittest sequence (paper's constraint).
+    seed:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    """
+
+    def __init__(self, nu: int, c: float = 5.0, sigma: float = 1.0, *, seed=None):
+        super().__init__(nu)
+        c = check_positive(c, "c")
+        sigma = check_positive(sigma, "sigma")
+        if not sigma < c / 2.0:
+            raise ValidationError(f"Eq. (13) requires sigma in (0, c/2); got sigma={sigma}, c={c}")
+        self.c = c
+        self.sigma = sigma
+        rng = as_generator(seed)
+        vals = sigma * (rng.random(self.n) + 0.5)
+        vals[0] = c
+        self._values = self._check_positive_values(vals)
+        self._values.setflags(write=False)
+
+    def values(self) -> np.ndarray:
+        return self._values
+
+    @property
+    def fmin(self) -> float:
+        return float(self._values.min())
+
+    @property
+    def fmax(self) -> float:
+        return float(self._values.max())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomLandscape(nu={self.nu}, c={self.c}, sigma={self.sigma})"

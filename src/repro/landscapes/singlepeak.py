@@ -1,0 +1,59 @@
+"""The single-peak fitness landscape.
+
+``f_0 = f_peak`` for the master sequence, ``f_i = f_rest`` for everything
+else — the textbook landscape that produces the sharpest error-threshold
+phenomenon (paper, Fig. 1 left: ``ν = 20``, ``f_0 = 2``, ``f_i = 1`` gives
+``p_max ≈ 0.035``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.landscapes.hamming import HammingLandscape
+from repro.util.validation import check_positive
+
+__all__ = ["SinglePeakLandscape"]
+
+
+class SinglePeakLandscape(HammingLandscape):
+    """Single peak at the master sequence.
+
+    Parameters
+    ----------
+    nu:
+        Chain length.
+    f_peak:
+        Fitness of the master sequence ``X_0`` (paper uses 2).
+    f_rest:
+        Common fitness of every other sequence (paper uses 1); must be
+        strictly below ``f_peak`` for the peak to be a peak.
+    """
+
+    def __init__(self, nu: int, f_peak: float = 2.0, f_rest: float = 1.0):
+        f_peak = check_positive(f_peak, "f_peak")
+        f_rest = check_positive(f_rest, "f_rest")
+        if f_rest >= f_peak:
+            raise ValidationError(
+                f"single-peak landscape needs f_rest < f_peak, got {f_rest} >= {f_peak}"
+            )
+        self.f_peak = f_peak
+        self.f_rest = f_rest
+        super().__init__(nu, lambda k: f_peak if k == 0 else f_rest)
+
+    @property
+    def superiority(self) -> float:
+        """The superiority parameter ``σ₀ = f_peak / f_rest``.
+
+        Classic quasispecies theory predicts the error threshold near
+        ``p_max ≈ ln(σ₀)/ν`` — a useful sanity check for Fig. 1.
+        """
+        return self.f_peak / self.f_rest
+
+    def predicted_threshold(self) -> float:
+        """First-order analytic estimate ``p_max ≈ ln(σ₀)/ν``."""
+        import math
+
+        return math.log(self.superiority) / self.nu
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SinglePeakLandscape(nu={self.nu}, f_peak={self.f_peak}, f_rest={self.f_rest})"

@@ -1,0 +1,53 @@
+"""High-level quasispecies model API.
+
+* :class:`~repro.model.quasispecies.QuasispeciesModel` — the facade a
+  downstream user touches: pick a landscape + mutation model, solve with
+  the best applicable method, query concentrations.
+* :mod:`~repro.model.ode` — the replicator–mutator ODE system (Eq. 1)
+  and its integrator; validates that the eigenvector solution really is
+  the long-time limit of the dynamics.
+* :mod:`~repro.model.concentrations` — error-class cumulative
+  concentrations and distribution diagnostics.
+* :mod:`~repro.model.threshold` — error-rate sweeps and detection of the
+  error-threshold ``p_max`` (Fig. 1 machinery).
+"""
+
+from repro.model.concentrations import (
+    class_concentrations,
+    uniform_class_concentrations,
+    dominant_sequence,
+    participation_ratio,
+)
+from repro.model.ode import QuasispeciesODE, integrate_to_stationary
+from repro.model.threshold import ThresholdSweep, detect_error_threshold
+from repro.model.quasispecies import QuasispeciesModel
+from repro.model.antiviral import find_threshold, mutagenesis_margin
+from repro.model.relaxation import relaxation_time, measure_relaxation_time
+from repro.model.parallel_sweep import parallel_sweep_error_rates
+from repro.model.treatment import (
+    TimeVaryingQuasispeciesODE,
+    constant,
+    dose_course,
+    ramp,
+)
+
+__all__ = [
+    "find_threshold",
+    "mutagenesis_margin",
+    "relaxation_time",
+    "measure_relaxation_time",
+    "parallel_sweep_error_rates",
+    "TimeVaryingQuasispeciesODE",
+    "constant",
+    "dose_course",
+    "ramp",
+    "class_concentrations",
+    "uniform_class_concentrations",
+    "dominant_sequence",
+    "participation_ratio",
+    "QuasispeciesODE",
+    "integrate_to_stationary",
+    "ThresholdSweep",
+    "detect_error_threshold",
+    "QuasispeciesModel",
+]

@@ -1,0 +1,178 @@
+"""Lethal-mutagenesis planning — the paper's motivating application.
+
+Sec. 1.1: the sudden transition at the error threshold "is of potential
+interest as a building block for new antiviral strategies [Eigen 2002]
+because the error rates of RNA viruses are usually close to this
+critical value and an increase of p is possible by the use of
+pharmaceutical drugs."
+
+This module turns the solvers into that planning tool: locate the
+threshold ``p_max`` of a landscape precisely (bisection on the
+order parameter, powered by the exact reduced solver for Hamming
+landscapes and the fast general solver otherwise) and report the *dose
+margin* — how much a mutagenic drug must raise the error rate of a
+virus currently replicating at ``p`` to push it over the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.model.concentrations import class_concentrations, uniform_class_concentrations
+from repro.mutation.uniform import UniformMutation
+from repro.operators.fmmp import Fmmp
+from repro.solvers.power import PowerIteration
+from repro.solvers.reduced import ReducedSolver
+from repro.util.validation import check_error_rate
+
+__all__ = ["find_threshold", "mutagenesis_margin", "MutagenesisAssessment"]
+
+
+def _distance_to_uniform(landscape: FitnessLandscape, p: float) -> float:
+    """Max class-concentration deviation from uniform, in units of the
+    distribution scale (the Fig. 1 plotting-resolution metric)."""
+    nu = landscape.nu
+    uniform = uniform_class_concentrations(nu)
+    if landscape.is_error_class_landscape:
+        gamma = ReducedSolver(nu, p, landscape).solve().concentrations
+    else:
+        mut = UniformMutation(nu, p)
+        res = PowerIteration(Fmmp(mut, landscape), tol=1e-11, max_iterations=500_000).solve(
+            landscape.start_vector(), landscape=landscape
+        )
+        gamma = class_concentrations(res.concentrations, nu)
+    return float(np.abs(gamma - uniform).max() / uniform.max())
+
+
+def _is_delocalized(landscape: FitnessLandscape, p: float, *, rtol: float) -> bool:
+    """Is the stationary distribution uniform (within rtol·scale) at p?"""
+    return _distance_to_uniform(landscape, p) <= rtol
+
+
+def find_threshold(
+    landscape: FitnessLandscape,
+    *,
+    p_lo: float = 1e-4,
+    p_hi: float = 0.45,
+    rtol: float = 0.02,
+    tol_p: float = 1e-4,
+    max_bisections: int = 60,
+) -> float | None:
+    """Locate ``p_max`` by bisection on the delocalization criterion.
+
+    Returns ``None`` when no transition exists in ``(p_lo, p_hi)`` —
+    either the population is already delocalized at ``p_lo`` or it stays
+    ordered through ``p_hi`` (smooth landscapes reach uniform only
+    asymptotically).
+
+    Parameters
+    ----------
+    landscape:
+        Any landscape (exact reduced path for Hamming structure, the
+        fast general solver otherwise).
+    p_lo, p_hi:
+        Bracketing error rates.
+    rtol:
+        Uniformity tolerance relative to the distribution scale (the
+        Fig. 1 plotting-resolution criterion).
+    tol_p:
+        Bisection resolution in ``p``.
+    """
+    p_lo = check_error_rate(p_lo)
+    p_hi = check_error_rate(p_hi)
+    if p_lo >= p_hi:
+        raise ValidationError("need p_lo < p_hi")
+    if _is_delocalized(landscape, p_lo, rtol=rtol):
+        return None  # already above threshold at the lower bracket
+    if not _is_delocalized(landscape, p_hi, rtol=rtol):
+        return None  # no transition inside the bracket
+    lo, hi = p_lo, p_hi
+    for _ in range(max_bisections):
+        if hi - lo <= tol_p:
+            break
+        mid = 0.5 * (lo + hi)
+        if _is_delocalized(landscape, mid, rtol=rtol):
+            hi = mid
+        else:
+            lo = mid
+    p_star = 0.5 * (lo + hi)
+    # Sharpness check: a genuine error threshold is a *sudden* change
+    # (paper Sec. 1.1) — just below p*, the distribution must still be
+    # strongly ordered.  Smooth landscapes (e.g. linear) drift into
+    # uniformity gradually on their way to p = 1/2 and fail this test.
+    below = max(p_lo, p_star * 0.85)
+    if below < p_star and _distance_to_uniform(landscape, below) < 10.0 * rtol:
+        return None
+    return p_star
+
+
+@dataclass
+class MutagenesisAssessment:
+    """Planning summary for a virus at error rate ``p``.
+
+    Attributes
+    ----------
+    p_current:
+        The virus's natural error rate.
+    p_max:
+        The landscape's threshold (``None`` if no sharp threshold).
+    margin:
+        ``p_max − p_current`` — the additional per-site error rate a
+        mutagen must induce (negative: already past the threshold).
+    fold_increase:
+        ``p_max / p_current`` — the dose expressed as a fold change.
+    master_concentration:
+        Current master-class concentration (how entrenched the wild
+        type is before treatment).
+    """
+
+    p_current: float
+    p_max: float | None
+    margin: float | None
+    fold_increase: float | None
+    master_concentration: float
+
+    @property
+    def treatable(self) -> bool:
+        """Whether a sharp threshold exists to push the virus over."""
+        return self.p_max is not None
+
+
+def mutagenesis_margin(
+    landscape: FitnessLandscape,
+    p_current: float,
+    *,
+    rtol: float = 0.02,
+    tol_p: float = 1e-4,
+) -> MutagenesisAssessment:
+    """Assess the mutagenic dose needed to cross the error threshold."""
+    p_current = check_error_rate(p_current)
+    nu = landscape.nu
+    if landscape.is_error_class_landscape:
+        gamma = ReducedSolver(nu, p_current, landscape).solve().concentrations
+    else:
+        mut = UniformMutation(nu, p_current)
+        res = PowerIteration(Fmmp(mut, landscape), tol=1e-11, max_iterations=500_000).solve(
+            landscape.start_vector(), landscape=landscape
+        )
+        gamma = class_concentrations(res.concentrations, nu)
+    p_max = find_threshold(landscape, rtol=rtol, tol_p=tol_p)
+    if p_max is None:
+        return MutagenesisAssessment(
+            p_current=p_current,
+            p_max=None,
+            margin=None,
+            fold_increase=None,
+            master_concentration=float(gamma[0]),
+        )
+    return MutagenesisAssessment(
+        p_current=p_current,
+        p_max=p_max,
+        margin=p_max - p_current,
+        fold_increase=p_max / p_current,
+        master_concentration=float(gamma[0]),
+    )

@@ -1,0 +1,76 @@
+"""Concentration diagnostics on the stationary distribution.
+
+Once the Perron vector ``x`` is known, the paper's biological readout is
+the cumulative concentration of each error class,
+``[Γ_k] = Σ_{j ∈ Γ_k} x_j`` (Sec. 1.1) — these are the curves of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import ValidationError
+from repro.util.binomial import binomial_row
+from repro.util.validation import check_chain_length, check_vector
+
+__all__ = [
+    "class_concentrations",
+    "uniform_class_concentrations",
+    "dominant_sequence",
+    "participation_ratio",
+]
+
+
+def class_concentrations(x: np.ndarray, nu: int) -> np.ndarray:
+    """Cumulative concentrations ``[Γ_k]`` for ``k = 0..ν``.
+
+    Parameters
+    ----------
+    x:
+        Concentration vector of length ``2**nu`` (need not be normalized;
+        sums are taken as given).
+    nu:
+        Chain length.
+    """
+    nu = check_chain_length(nu)
+    x = check_vector(x, 1 << nu, "x")
+    labels = distance_to_master(nu)
+    return np.bincount(labels, weights=x, minlength=nu + 1)
+
+
+def uniform_class_concentrations(nu: int) -> np.ndarray:
+    """``[Γ_k]`` of the exactly uniform distribution: ``C(ν,k)/2^ν``.
+
+    Above the error threshold all sequences occur equally, so the class
+    concentrations differ only through class cardinality — this is why
+    the Γ_k/Γ_{ν−k} curve pairs of Fig. 1 meet at the threshold.
+    """
+    nu = check_chain_length(nu, max_nu=1000)
+    return binomial_row(nu) / 2.0**nu
+
+
+def dominant_sequence(x: np.ndarray) -> tuple[int, float]:
+    """Index and concentration of the most abundant sequence."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValidationError("expected a non-empty 1-D concentration vector")
+    i = int(np.argmax(x))
+    return i, float(x[i])
+
+
+def participation_ratio(x: np.ndarray) -> float:
+    """Effective number of occupied sequences ``(Σx)² / Σx²``.
+
+    Ranges from 1 (single dominant sequence — ordered phase) to ``N``
+    (uniform distribution — random replication).  A convenient scalar
+    order parameter for threshold detection.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValidationError("expected a non-empty 1-D concentration vector")
+    num = float(x.sum()) ** 2
+    den = float((x * x).sum())
+    if den == 0.0:
+        raise ValidationError("zero vector has no participation ratio")
+    return num / den

@@ -1,0 +1,140 @@
+"""The replicator–mutator ODE system (paper, Eq. 1).
+
+    dx_i/dt = Σ_j f_j·Q_{i,j}·x_j(t) − x_i(t)·Φ(t),
+    Φ(t)    = Σ_j f_j·x_j(t),          Σ_j x_j(t) = 1,
+
+i.e. ``ẋ = W·x − Φ·x`` with ``W = Q·F`` applied through the *fast*
+matvec — integrating the nonlinear dynamics costs the same
+``Θ(N log₂ N)`` per step as one power-iteration step.
+
+This module exists as the *physical* ground truth: the paper reduces the
+search for the stationary distribution to an eigenproblem via the
+standard Bernoulli change of variables; integrating Eq. (1) directly and
+comparing against the eigenvector is the strongest end-to-end validation
+the reproduction can do (see tests/test_model_ode.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.mutation.base import MutationModel
+from repro.operators.fmmp import Fmmp
+from repro.util.validation import check_probability_vector
+
+__all__ = ["QuasispeciesODE", "integrate_to_stationary"]
+
+
+class QuasispeciesODE:
+    """Right-hand side and integrators for Eq. (1).
+
+    Parameters
+    ----------
+    mutation, landscape:
+        The model ingredients; the RHS uses ``Fmmp`` internally.
+    """
+
+    def __init__(self, mutation: MutationModel, landscape: FitnessLandscape):
+        if mutation.nu != landscape.nu:
+            raise ValidationError("mutation and landscape chain lengths disagree")
+        self.mutation = mutation
+        self.landscape = landscape
+        self.n = mutation.n
+        self._op = Fmmp(mutation, landscape, form="right")
+        self._f = landscape.values()
+
+    # ------------------------------------------------------------ dynamics
+    def flux(self, x: np.ndarray) -> float:
+        """The mean fitness ``Φ(t) = Σ_j f_j x_j`` (the dilution flux)."""
+        return float(self._f @ x)
+
+    def rhs(self, x: np.ndarray) -> np.ndarray:
+        """``ẋ = W·x − Φ(x)·x``; tangent to the probability simplex
+        (``Σ ẋ_i = 0`` because ``Q`` is column stochastic)."""
+        wx = self._op.matvec(np.asarray(x, dtype=np.float64))
+        return wx - self.flux(np.asarray(x, dtype=np.float64)) * np.asarray(x, dtype=np.float64)
+
+    def master_start(self) -> np.ndarray:
+        """The paper's initial condition ``x_0 = 1`` (pure master)."""
+        x = np.zeros(self.n)
+        x[0] = 1.0
+        return x
+
+    # ---------------------------------------------------------- integrators
+    def step_rk4(self, x: np.ndarray, dt: float) -> np.ndarray:
+        """One classical Runge–Kutta step, renormalized onto the simplex.
+
+        Renormalization absorbs the ``O(dt⁵)`` drift off ``Σx = 1`` and
+        keeps the integration stable over long horizons.
+        """
+        k1 = self.rhs(x)
+        k2 = self.rhs(x + 0.5 * dt * k1)
+        k3 = self.rhs(x + 0.5 * dt * k2)
+        k4 = self.rhs(x + dt * k3)
+        out = x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        np.clip(out, 0.0, None, out=out)
+        total = out.sum()
+        if total <= 0.0:
+            raise ConvergenceError("ODE state collapsed; step size too large")
+        return out / total
+
+    def integrate(
+        self,
+        x0: np.ndarray | None = None,
+        *,
+        t_end: float = 100.0,
+        dt: float = 0.05,
+        record_every: int = 0,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Integrate to ``t_end`` with fixed-step RK4.
+
+        Returns
+        -------
+        (x_final, trajectory)
+            ``trajectory`` holds snapshots every ``record_every`` steps
+            (empty when ``record_every=0``).
+        """
+        if dt <= 0.0 or t_end <= 0.0:
+            raise ValidationError("dt and t_end must be positive")
+        x = self.master_start() if x0 is None else check_probability_vector(x0, self.n, "x0").copy()
+        steps = int(np.ceil(t_end / dt))
+        trajectory: list[np.ndarray] = []
+        for s in range(steps):
+            x = self.step_rk4(x, dt)
+            if record_every and (s + 1) % record_every == 0:
+                trajectory.append(x.copy())
+        return x, trajectory
+
+
+def integrate_to_stationary(
+    mutation: MutationModel,
+    landscape: FitnessLandscape,
+    *,
+    x0: np.ndarray | None = None,
+    dt: float = 0.05,
+    tol: float = 1e-10,
+    max_steps: int = 200_000,
+) -> tuple[np.ndarray, int]:
+    """Run the dynamics until ``‖ẋ‖₁ < tol`` and return ``(x*, steps)``.
+
+    The fixed point of Eq. (1) on the simplex is exactly the normalized
+    Perron vector of ``W`` with ``Φ = λ₀`` — this function converges to
+    the same answer as the eigensolvers, just slower (it *is* a souped-up
+    power iteration, which is the mathematical content of the Bernoulli
+    change of variables).
+    """
+    ode = QuasispeciesODE(mutation, landscape)
+    x = ode.master_start() if x0 is None else check_probability_vector(x0, ode.n, "x0").copy()
+    for step in range(1, max_steps + 1):
+        x_new = ode.step_rk4(x, dt)
+        drift = float(np.abs(x_new - x).sum()) / dt
+        x = x_new
+        if drift < tol:
+            return x, step
+    raise ConvergenceError(
+        f"dynamics did not become stationary within {max_steps} steps",
+        iterations=max_steps,
+        residual=drift,
+    )

@@ -1,0 +1,156 @@
+"""Error-threshold sweeps and detection (the Fig. 1 machinery).
+
+For a given landscape, sweep the error rate ``p`` and record the
+cumulative error-class concentrations ``[Γ_k](p)``.  If the landscape
+exhibits the error-threshold phenomenon there is a critical ``p_max``
+(≈0.035 for the paper's ν = 20 single peak) above which the stationary
+distribution collapses to uniform; smooth landscapes (e.g. linear)
+show no such transition.
+
+Detection criterion: the distribution is "uniform" when every class
+concentration matches ``C(ν,k)/2^ν`` within a tolerance; ``p_max`` is the
+first swept ``p`` from which this holds onward.  We also expose the
+master-class order parameter ``[Γ_0](p)`` and the participation ratio
+for alternative diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.model.concentrations import uniform_class_concentrations
+from repro.solvers.reduced import ReducedSolver
+from repro.util.validation import check_chain_length
+
+__all__ = ["ThresholdSweep", "detect_error_threshold", "sweep_error_rates"]
+
+
+@dataclass
+class ThresholdSweep:
+    """Result of an error-rate sweep.
+
+    Attributes
+    ----------
+    nu:
+        Chain length.
+    error_rates:
+        The swept ``p`` values (increasing).
+    class_concentrations:
+        Array of shape ``(len(error_rates), ν+1)`` — row ``i`` holds
+        ``[Γ_0..Γ_ν]`` at ``p = error_rates[i]``.
+    p_max:
+        Detected threshold, or ``None`` when no transition occurs within
+        the swept range.
+    """
+
+    nu: int
+    error_rates: np.ndarray
+    class_concentrations: np.ndarray
+    p_max: float | None = None
+    landscape_name: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def series(self, k: int) -> np.ndarray:
+        """The curve ``[Γ_k](p)`` across the sweep."""
+        if not 0 <= k <= self.nu:
+            raise ValidationError(f"class index must be in [0, {self.nu}], got {k}")
+        return self.class_concentrations[:, k]
+
+    def master_curve(self) -> np.ndarray:
+        """``[Γ_0](p)`` — the classic order parameter."""
+        return self.series(0)
+
+
+def sweep_error_rates(
+    landscape: FitnessLandscape,
+    error_rates: np.ndarray,
+    *,
+    solver: str = "reduced",
+) -> ThresholdSweep:
+    """Compute ``[Γ_k](p)`` over a grid of error rates.
+
+    Parameters
+    ----------
+    landscape:
+        Must be an error-class landscape for the (default) exact reduced
+        solver; for general landscapes use
+        :class:`repro.model.quasispecies.QuasispeciesModel` per point.
+    error_rates:
+        Increasing grid of ``p`` values, each in ``[0, 1/2]``.
+    solver:
+        Currently only ``"reduced"`` — Fig. 1's landscapes are both
+        Hamming-based, and the reduction is exact (Sec. 5.1).
+    """
+    if solver != "reduced":
+        raise ValidationError(f"unknown sweep solver {solver!r}")
+    if not landscape.is_error_class_landscape:
+        raise ValidationError("sweep_error_rates needs a Hamming-distance landscape")
+    rates = np.asarray(error_rates, dtype=np.float64).reshape(-1)
+    if rates.size == 0 or np.any(np.diff(rates) <= 0):
+        raise ValidationError("error_rates must be a non-empty increasing grid")
+    nu = landscape.nu
+    rows = np.empty((rates.size, nu + 1))
+    for i, p in enumerate(rates):
+        if p == 0.0:
+            # Degenerate limit: error-free replication concentrates all
+            # mass on the fittest class; for quasispecies landscapes
+            # (master fittest) that is Γ0.
+            rows[i] = 0.0
+            rows[i, int(np.argmax(landscape.class_values()))] = 1.0
+            continue
+        res = ReducedSolver(nu, float(p), landscape).solve()
+        rows[i] = res.concentrations
+    sweep = ThresholdSweep(
+        nu=nu,
+        error_rates=rates,
+        class_concentrations=rows,
+        landscape_name=type(landscape).__name__,
+    )
+    sweep.p_max = detect_error_threshold(sweep)
+    return sweep
+
+
+def detect_error_threshold(sweep: ThresholdSweep, *, rtol: float = 0.02) -> float | None:
+    """Locate ``p_max``: the first ``p`` from which the distribution stays
+    uniform.
+
+    "Uniform" means every class concentration deviates from
+    ``C(ν,k)/2^ν`` by at most ``rtol · max_k(C(ν,k)/2^ν)`` — deviations
+    are measured against the distribution's scale, not per class,
+    because the single-member classes (Γ₀, Γ_ν) approach their tiny
+    uniform values only asymptotically for finite ν while the
+    distribution is already indistinguishable from uniform at the
+    resolution of Fig. 1.
+
+    Returns ``None`` if the distribution never reaches uniform in the
+    sweep (no threshold in range) **or** if it approaches it only
+    asymptotically at the end of the range (smooth transition — the
+    linear-landscape case: uniformity exactly at the boundary of the
+    sweep is not called a threshold unless there are at least two
+    consecutive uniform points strictly inside the range).
+    """
+    nu = check_chain_length(sweep.nu, max_nu=1000)
+    uniform = uniform_class_concentrations(nu)
+    rows = sweep.class_concentrations
+    scale = float(uniform.max())
+    is_uniform = np.all(np.abs(rows - uniform[None, :]) <= rtol * scale, axis=1)
+    if not is_uniform.any():
+        return None
+    first = int(np.argmax(is_uniform))
+    # Require the uniform phase to persist to the end of the sweep and to
+    # start strictly inside the range.
+    if not is_uniform[first:].all():
+        candidates = np.nonzero(is_uniform)[0]
+        for c in candidates:
+            if is_uniform[c:].all():
+                first = int(c)
+                break
+        else:
+            return None
+    if first == 0 or first >= rows.shape[0] - 1:
+        return None
+    return float(sweep.error_rates[first])

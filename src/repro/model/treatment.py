@@ -1,0 +1,171 @@
+"""Time-dependent error rates: mutagenic treatment courses.
+
+The antiviral strategy of Sec. 1.1 works by *raising* p with a drug —
+which in reality is a pharmacokinetic time course, not a constant.
+This module extends the replicator–mutator dynamics (Eq. 1) to
+``p = p(t)``:
+
+    ẋ = Q(p(t))·F·x − Φ(t)·x,
+
+with the same ``Θ(N log₂ N)`` per step (the butterfly just takes the
+current 2×2 factor).  Schedules model onset/washout; integrating a dose
+course shows delocalization during treatment and — because the
+landscape is unchanged — recolonization of the master after washout if
+the dose stops too early.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.transforms.butterfly import butterfly_transform
+from repro.util.validation import check_error_rate, check_probability_vector
+
+__all__ = ["ErrorRateSchedule", "constant", "ramp", "dose_course", "TimeVaryingQuasispeciesODE"]
+
+
+@dataclass(frozen=True)
+class ErrorRateSchedule:
+    """A time course ``p(t)``, validated to stay in ``(0, 1/2]``.
+
+    Attributes
+    ----------
+    fn:
+        The schedule callable.
+    description:
+        Human-readable label for reports.
+    """
+
+    fn: Callable[[float], float]
+    description: str = "schedule"
+
+    def __call__(self, t: float) -> float:
+        p = float(self.fn(float(t)))
+        return check_error_rate(p)
+
+
+def constant(p: float) -> ErrorRateSchedule:
+    """A constant schedule (reduces to the ordinary dynamics)."""
+    p = check_error_rate(p)
+    return ErrorRateSchedule(lambda t: p, f"constant p={p}")
+
+
+def ramp(p_start: float, p_end: float, t_ramp: float) -> ErrorRateSchedule:
+    """Linear ramp from ``p_start`` to ``p_end`` over ``[0, t_ramp]``,
+    constant afterwards."""
+    p_start = check_error_rate(p_start)
+    p_end = check_error_rate(p_end)
+    if t_ramp <= 0:
+        raise ValidationError("t_ramp must be positive")
+
+    def fn(t: float) -> float:
+        if t >= t_ramp:
+            return p_end
+        return p_start + (p_end - p_start) * max(t, 0.0) / t_ramp
+
+    return ErrorRateSchedule(fn, f"ramp {p_start}->{p_end} over {t_ramp}")
+
+
+def dose_course(
+    p_base: float,
+    p_peak: float,
+    *,
+    t_on: float,
+    t_off: float,
+    tau: float,
+) -> ErrorRateSchedule:
+    """A single treatment course with first-order pharmacokinetics.
+
+    Drug level rises toward ``p_peak`` with time constant ``tau`` while
+    administered (``t_on <= t < t_off``) and washes out with the same
+    ``tau`` afterwards.
+    """
+    p_base = check_error_rate(p_base)
+    p_peak = check_error_rate(p_peak)
+    if not (0 <= t_on < t_off):
+        raise ValidationError("need 0 <= t_on < t_off")
+    if tau <= 0:
+        raise ValidationError("tau must be positive")
+    amplitude = p_peak - p_base
+
+    def fn(t: float) -> float:
+        if t < t_on:
+            return p_base
+        if t < t_off:
+            return p_base + amplitude * (1.0 - np.exp(-(t - t_on) / tau))
+        level_at_off = 1.0 - np.exp(-(t_off - t_on) / tau)
+        return p_base + amplitude * level_at_off * np.exp(-(t - t_off) / tau)
+
+    return ErrorRateSchedule(
+        fn, f"dose: base {p_base}, peak {p_peak}, on [{t_on},{t_off}), tau {tau}"
+    )
+
+
+class TimeVaryingQuasispeciesODE:
+    """Replicator–mutator dynamics with ``p = p(t)`` (uniform model).
+
+    Parameters
+    ----------
+    landscape:
+        The fitness landscape (fixed in time).
+    schedule:
+        The error-rate time course.
+    """
+
+    def __init__(self, landscape: FitnessLandscape, schedule: ErrorRateSchedule):
+        self.landscape = landscape
+        self.schedule = schedule
+        self.nu = landscape.nu
+        self.n = landscape.n
+        self._f = landscape.values()
+
+    # ------------------------------------------------------------ dynamics
+    def rhs(self, t: float, x: np.ndarray) -> np.ndarray:
+        """``ẋ = Q(p(t))·(F·x) − (fᵀx)·x``."""
+        p = self.schedule(t)
+        m = np.array([[1.0 - p, p], [p, 1.0 - p]])
+        x = np.asarray(x, dtype=np.float64)
+        w = self._f * x
+        qw = butterfly_transform(w, [m] * self.nu, in_place=True)
+        return qw - float(self._f @ x) * x
+
+    def step_rk4(self, t: float, x: np.ndarray, dt: float) -> np.ndarray:
+        """One time-aware classical RK4 step, renormalized."""
+        k1 = self.rhs(t, x)
+        k2 = self.rhs(t + 0.5 * dt, x + 0.5 * dt * k1)
+        k3 = self.rhs(t + 0.5 * dt, x + 0.5 * dt * k2)
+        k4 = self.rhs(t + dt, x + dt * k3)
+        out = x + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        np.clip(out, 0.0, None, out=out)
+        total = out.sum()
+        if total <= 0.0:
+            raise ConvergenceError("state collapsed; reduce dt")
+        return out / total
+
+    def integrate(
+        self,
+        x0: np.ndarray,
+        *,
+        t_end: float,
+        dt: float = 0.05,
+        observer: Callable[[float, np.ndarray], None] | None = None,
+        observe_every: int = 1,
+    ) -> np.ndarray:
+        """Integrate to ``t_end``; ``observer(t, x)`` fires every
+        ``observe_every`` steps (after the step)."""
+        if dt <= 0 or t_end <= 0:
+            raise ValidationError("dt and t_end must be positive")
+        x = check_probability_vector(x0, self.n, "x0").copy()
+        steps = int(np.ceil(t_end / dt))
+        t = 0.0
+        for k in range(steps):
+            x = self.step_rk4(t, x, dt)
+            t += dt
+            if observer is not None and (k + 1) % max(1, observe_every) == 0:
+                observer(t, x)
+        return x

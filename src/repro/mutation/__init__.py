@@ -1,0 +1,44 @@
+"""Mutation models: the matrix ``Q`` in all the paper's generalities.
+
+* :class:`~repro.mutation.uniform.UniformMutation` — the classic Eigen
+  model (Eq. 2 / Eq. 7): one error rate ``p`` for every site.
+* :class:`~repro.mutation.persite.PerSiteMutation` — ν independent
+  single-point mutation processes, each an arbitrary 2×2
+  column-stochastic matrix (Sec. 2.2, first generalization).
+* :class:`~repro.mutation.grouped.GroupedMutation` — groups of dependent
+  sites, ``Q = ⊗ᵢ Q_{G_i}`` with ``2^{g_i}`` blocks (Eq. 11).
+
+All models share the :class:`~repro.mutation.base.MutationModel` interface:
+a fast implicit ``apply`` (the matvec), a dense materialization for
+validation at small ν, and structural metadata used by the operators and
+solvers.
+"""
+
+from repro.mutation.base import MutationModel
+from repro.mutation.uniform import UniformMutation
+from repro.mutation.persite import PerSiteMutation, site_factor
+from repro.mutation.grouped import GroupedMutation
+from repro.mutation.spectral import (
+    uniform_q_eigenvalues,
+    apply_uniform_q_spectral,
+    solve_shifted_uniform_q,
+    apply_uniform_q_inverse,
+)
+from repro.mutation.reduced import reduced_mutation_matrix
+from repro.mutation.alphabet import nucleotide_block, rna_mutation, NUCLEOTIDE_ORDER
+
+__all__ = [
+    "nucleotide_block",
+    "rna_mutation",
+    "NUCLEOTIDE_ORDER",
+    "MutationModel",
+    "UniformMutation",
+    "PerSiteMutation",
+    "site_factor",
+    "GroupedMutation",
+    "uniform_q_eigenvalues",
+    "apply_uniform_q_spectral",
+    "solve_shifted_uniform_q",
+    "apply_uniform_q_inverse",
+    "reduced_mutation_matrix",
+]

@@ -1,0 +1,116 @@
+"""The reduced (ν+1)×(ν+1) mutation matrix ``QΓ`` (Eq. 14, corrected).
+
+``QΓ[d, k]`` is the probability that one *fixed* sequence from error class
+``Γ_d`` mutates into *any* sequence of class ``Γ_k``:
+
+    QΓ[d, k] = Σ_j C(ν−d, k−j) · C(d, j) · p^{k+d−2j} · (1−p)^{ν−(k+d−2j)}
+
+with ``max(0, k+d−ν) <= j <= min(k, d)`` — ``j`` counts the set bits of
+the source that *stay* set.  The printed exponent of ``(1−p)`` in the
+paper, ``(k+d−2j)−ν``, is a sign typo: the total number of sites is ν and
+``k+d−2j`` of them flip, so ``ν−(k+d−2j)`` don't.  (With the printed
+exponent the matrix would not even be substochastic; see the unit tests.)
+
+Rows of ``QΓ`` sum to one (a fixed sequence mutates into *some* class
+with certainty), i.e. the reduced matrix is **row** stochastic — the
+paper's observation that the reduction maps single molecules to class
+*representatives*, not to class aggregates.
+
+Implementation
+--------------
+Row ``d`` is computed as a polynomial-coefficient convolution rather
+than the literal triple sum: a source sequence in ``Γ_d`` has ``ν−d``
+unset sites, each independently contributing ``(1−p) + p·x`` to the
+generating polynomial of the destination distance, and ``d`` set sites
+contributing ``p + (1−p)·x`` (the flip-back keeps the site *out* of the
+new distance).  Hence
+
+    Σ_k QΓ[d, k]·x^k = ((1−p) + p·x)^{ν−d} · (p + (1−p)·x)^{d},
+
+so each row is one ``numpy.convolve`` of two binomial-expansion
+coefficient vectors — ``Θ(ν²)`` per row and C-speed, which keeps even
+ν = 1000 (a 2¹⁰⁰⁰-dimensional full problem) in milliseconds.  The
+binomial weights are evaluated in log space so very long chains neither
+overflow the binomials nor lose the small-``k`` structure to underflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.util.binomial import binomial, log_binomial
+from repro.util.validation import check_chain_length, check_error_rate
+
+__all__ = ["reduced_mutation_matrix", "reduced_mutation_matrix_reference"]
+
+
+def _binomial_pmf(n: int, log_success: float, log_fail: float) -> np.ndarray:
+    """Coefficients ``C(n, i)·success^i·fail^{n−i}`` for ``i = 0..n``,
+    computed in log space (entries below ~1e-300 flush to zero)."""
+    if n == 0:
+        return np.ones(1)
+    i = np.arange(n + 1, dtype=np.float64)
+    log_c = np.array([log_binomial(n, int(k)) for k in range(n + 1)])
+    logs = log_c + i * log_success + (n - i) * log_fail
+    with np.errstate(under="ignore"):
+        return np.exp(logs)
+
+
+def reduced_mutation_matrix(nu: int, p: float) -> np.ndarray:
+    """Build ``QΓ ∈ R^{(ν+1)×(ν+1)}`` for chain length ``nu`` and rate ``p``.
+
+    Parameters
+    ----------
+    nu:
+        Chain length; the reduced dimension is ``ν + 1``.  Because the
+        reduction is exact, this is valid for *much* longer chains than
+        the full solvers (the guard accepts up to ν = 10000).
+    p:
+        Error rate, ``0 <= p <= 1/2`` (``p = 0`` yields the identity).
+
+    Returns
+    -------
+    numpy.ndarray
+        The row-stochastic reduced mutation matrix.
+    """
+    nu = check_chain_length(nu, max_nu=10_000)
+    p = check_error_rate(p, allow_zero=True)
+    if p == 0.0:
+        return np.eye(nu + 1)
+
+    log_p = np.log(p)
+    log_1mp = np.log1p(-p)
+    q = np.empty((nu + 1, nu + 1))
+    for d in range(nu + 1):
+        # ((1−p) + p·x)^{ν−d}: "success" = contributing to the new
+        # distance (a wild site flipping), probability p.
+        wild = _binomial_pmf(nu - d, log_p, log_1mp)
+        # (p + (1−p)·x)^{d}: a set site *stays* set with 1−p.
+        mutant = _binomial_pmf(d, log_1mp, log_p)
+        q[d, :] = np.convolve(wild, mutant)
+    return q
+
+
+def reduced_mutation_matrix_reference(nu: int, p: float) -> np.ndarray:
+    """Literal triple-sum transcription of (corrected) Eq. (14).
+
+    Executable specification for the tests; ``Θ(ν³)`` Python loops, so
+    only suitable for small ν.
+    """
+    nu = check_chain_length(nu, max_nu=64)
+    p = check_error_rate(p, allow_zero=True)
+    if p == 0.0:
+        return np.eye(nu + 1)
+    q = np.zeros((nu + 1, nu + 1))
+    for d in range(nu + 1):
+        for k in range(nu + 1):
+            for j in range(max(0, k + d - nu), min(k, d) + 1):
+                flips = k + d - 2 * j
+                q[d, k] += (
+                    binomial(nu - d, k - j)
+                    * binomial(d, j)
+                    * p**flips
+                    * (1.0 - p) ** (nu - flips)
+                )
+    return q

@@ -1,0 +1,123 @@
+"""Operator protocol and the common ``W``-form plumbing.
+
+Every solver in :mod:`repro.solvers` consumes an
+:class:`ImplicitOperator`: something with a dimension, a ``matvec``, a
+symmetry flag, and a static cost descriptor (flops / bytes per product)
+that the performance models of :mod:`repro.perf` consume.
+
+The three equivalent eigenproblem forms (paper Eqs. 3–5) differ only in
+how the diagonal ``F`` wraps the mutation product:
+
+========== =========================== ==============================
+form        matrix                      eigenvector relation
+========== =========================== ==============================
+``right``   ``W_R = Q · F``             ``x_R = F^{-1/2} · x_S``
+``symmetric`` ``W_S = F^{1/2}·Q·F^{1/2}`` (symmetric ⇒ Lanczos-friendly)
+``left``    ``W_L = F · Q``             ``x_L = F^{1/2} · x_S``
+========== =========================== ==============================
+
+All share the same spectrum; concentrations are read from ``x_R``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.util.validation import check_vector
+
+__all__ = ["ImplicitOperator", "OperatorCosts", "FORMS", "FormMixin"]
+
+FORMS = ("right", "symmetric", "left")
+
+
+@dataclass(frozen=True)
+class OperatorCosts:
+    """Static per-matvec cost estimates for performance modeling.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations per product.
+    bytes_moved:
+        Main-memory traffic per product (reads + writes, in bytes),
+        assuming no cache reuse beyond registers — the right model for
+        the streaming, bandwidth-bound kernels of the paper (Sec. 4).
+    storage_bytes:
+        Persistent storage the operator itself needs (dense matrix,
+        mask tables, …); vectors excluded.
+    """
+
+    flops: float
+    bytes_moved: float
+    storage_bytes: float
+
+
+class ImplicitOperator(abc.ABC):
+    """A square linear operator available only through its action."""
+
+    n: int
+
+    @abc.abstractmethod
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Return the product with ``v`` (never mutates the input)."""
+
+    @property
+    @abc.abstractmethod
+    def is_symmetric(self) -> bool:
+        """Whether the represented matrix is symmetric."""
+
+    @abc.abstractmethod
+    def costs(self) -> OperatorCosts:
+        """Static cost descriptor for one :meth:`matvec`."""
+
+    # --------------------------------------------------------- conveniences
+    def __matmul__(self, v: np.ndarray) -> np.ndarray:
+        return self.matvec(v)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n, self.n)
+
+    def check(self, v: np.ndarray) -> np.ndarray:
+        return check_vector(v, self.n, "v")
+
+    def to_dense(self, *, max_n: int = 1 << 13) -> np.ndarray:
+        """Materialize by applying to the identity (tests / small ν)."""
+        if self.n > max_n:
+            raise ValidationError(f"refusing to densify an operator of dimension {self.n}")
+        eye = np.eye(self.n)
+        cols = [self.matvec(eye[:, j]) for j in range(self.n)]
+        return np.stack(cols, axis=1)
+
+
+class FormMixin:
+    """Shared handling of the right/symmetric/left forms (Eqs. 3–5).
+
+    Subclasses call :meth:`_init_form` during construction and wrap their
+    pure-``Q`` product with :meth:`_apply_form`.
+    """
+
+    def _init_form(self, landscape: FitnessLandscape, form: str) -> None:
+        if form not in FORMS:
+            raise ValidationError(f"form must be one of {FORMS}, got {form!r}")
+        self.form = form
+        self.landscape = landscape
+        self._f = landscape.values()
+        self._sqrt_f = np.sqrt(self._f) if form == "symmetric" else None
+
+    def _apply_form(self, v: np.ndarray, q_apply) -> np.ndarray:
+        """Compute ``W·v`` given a callable ``q_apply(u) = Q·u``."""
+        if self.form == "right":
+            return q_apply(self._f * v)
+        if self.form == "symmetric":
+            return self._sqrt_f * q_apply(self._sqrt_f * v)
+        return self._f * q_apply(v)  # left
+
+    @property
+    def _form_is_symmetric(self) -> bool:
+        return self.form == "symmetric"

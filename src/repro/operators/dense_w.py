@@ -1,0 +1,79 @@
+"""Dense construction of ``W`` and eigenvector form conversions.
+
+Used by the dense baseline solver and the validation tests; the implicit
+operators never call into this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.mutation.base import MutationModel
+from repro.operators.base import FORMS
+
+__all__ = ["dense_w", "convert_eigenvector"]
+
+
+def dense_w(
+    mutation: MutationModel,
+    landscape: FitnessLandscape,
+    form: str = "right",
+    *,
+    max_nu: int = 13,
+) -> np.ndarray:
+    """Materialize ``W`` in the requested form (Eqs. 3–5).
+
+    Parameters
+    ----------
+    mutation, landscape:
+        Must agree on the chain length.
+    form:
+        ``right`` (``Q·F``), ``symmetric`` (``F^½·Q·F^½``) or ``left``
+        (``F·Q``).
+    max_nu:
+        Densification guard.
+    """
+    if form not in FORMS:
+        raise ValidationError(f"form must be one of {FORMS}, got {form!r}")
+    if mutation.nu != landscape.nu:
+        raise ValidationError(
+            f"mutation (nu={mutation.nu}) and landscape (nu={landscape.nu}) disagree"
+        )
+    if mutation.nu > max_nu:
+        raise ValidationError(f"dense W refused for nu={mutation.nu} > {max_nu}")
+    q = mutation.dense()
+    f = landscape.values()
+    if form == "right":
+        return q * f[None, :]
+    if form == "left":
+        return q * f[:, None]
+    s = np.sqrt(f)
+    return (s[:, None] * q) * s[None, :]
+
+
+def convert_eigenvector(x: np.ndarray, landscape: FitnessLandscape, from_form: str) -> np.ndarray:
+    """Convert an eigenvector of any form into concentrations ``x_R``.
+
+    Per the paper: ``x_R = F^{-1/2}·x_S`` and ``x_R = F^{-1}·x_L``.  The
+    result is rescaled to the 1-norm (relative concentrations) with a
+    positive orientation.
+    """
+    if from_form not in FORMS:
+        raise ValidationError(f"form must be one of {FORMS}, got {from_form!r}")
+    x = np.asarray(x, dtype=np.float64)
+    f = landscape.values()
+    if from_form == "right":
+        out = x.copy()
+    elif from_form == "symmetric":
+        out = x / np.sqrt(f)
+    else:
+        out = x / f
+    # Perron vector: orient positively, normalize as concentrations.
+    if out.sum() < 0:
+        out = -out
+    total = out.sum()
+    if total <= 0:
+        raise ValidationError("eigenvector has non-positive mass; not a Perron vector")
+    return out / total

@@ -1,0 +1,157 @@
+"""``Fmmp`` — the paper's fast mutation matrix product (Sec. 2).
+
+Exact ``W·v`` in ``Θ(N log₂ N)`` with no matrix storage at all: the
+Kronecker factorization of ``Q`` turns the product into a ν-stage
+butterfly (Eq. 9 / Eq. 10, Algorithm 1).  Works unchanged for the
+generalized mutation models of Sec. 2.2 — per-site factors run through
+the same butterfly, grouped factors through the multilinear Kronecker
+contraction.
+
+Two stage orders are provided, mirroring the two recursions:
+
+* ``variant="eq9"`` — combine after recursing (Eq. 9): ascending spans
+  ``1, 2, …, N/2``, exactly Algorithm 1;
+* ``variant="eq10"`` — split before recursing (Eq. 10): descending spans.
+
+For a fixed bit↔factor assignment the stages commute, so both variants
+produce identical results (asserted in the tests) — the choice only
+matters for memory-access order, which is why the paper mentions both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.mutation.base import MutationModel
+from repro.mutation.grouped import GroupedMutation
+from repro.mutation.persite import PerSiteMutation
+from repro.mutation.uniform import UniformMutation
+from repro.operators.base import FormMixin, ImplicitOperator, OperatorCosts
+from repro.transforms.kronecker import kron_matvec
+
+__all__ = ["Fmmp"]
+
+_VARIANTS = ("eq9", "eq10")
+
+
+class Fmmp(ImplicitOperator, FormMixin):
+    """Fast mutation matrix product operator for ``W`` (Eqs. 3–5 forms).
+
+    Parameters
+    ----------
+    mutation:
+        Any :class:`~repro.mutation.base.MutationModel`; butterfly path
+        for 2×2-factored models, Kronecker contraction for grouped ones.
+    landscape:
+        The fitness landscape.
+    form:
+        ``right``/``symmetric``/``left``.
+    variant:
+        ``"eq9"`` (ascending spans, Algorithm 1) or ``"eq10"``
+        (descending spans).
+
+    Examples
+    --------
+    >>> from repro.mutation import UniformMutation
+    >>> from repro.landscapes import SinglePeakLandscape
+    >>> op = Fmmp(UniformMutation(10, 0.01), SinglePeakLandscape(10))
+    >>> y = op.matvec(op.landscape.start_vector())
+    >>> y.shape
+    (1024,)
+    """
+
+    def __init__(
+        self,
+        mutation: MutationModel,
+        landscape: FitnessLandscape,
+        form: str = "right",
+        variant: str = "eq9",
+    ):
+        if mutation.nu != landscape.nu:
+            raise ValidationError(
+                f"mutation (nu={mutation.nu}) and landscape (nu={landscape.nu}) disagree"
+            )
+        if variant not in _VARIANTS:
+            raise ValidationError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+        self.mutation = mutation
+        self.variant = variant
+        self.n = mutation.n
+        self._init_form(landscape, form)
+
+        if isinstance(mutation, (UniformMutation, PerSiteMutation)):
+            self._bit_factors = mutation.factors_per_bit()
+            self._blocks = None
+            # Scratch for the allocation-free stage sweep (half the
+            # vector each; reused across calls — Fmmp's Θ(N) storage).
+            self._scratch = (np.empty(self.n // 2), np.empty(self.n // 2))
+        elif isinstance(mutation, GroupedMutation):
+            self._bit_factors = None
+            self._blocks = mutation.blocks()
+        else:  # pragma: no cover - future models fall back to .apply
+            self._bit_factors = None
+            self._blocks = None
+
+    # ------------------------------------------------------------- product
+    def _q_fast(self, w: np.ndarray) -> np.ndarray:
+        """In-situ butterfly (or Kronecker contraction) for ``Q·w``.
+
+        ``w`` is always a fresh temporary created by ``_apply_form``
+        (the diagonal scaling copies), so in-place stages are safe.
+        """
+        if self._bit_factors is not None:
+            nu = self.mutation.nu
+            stages = range(nu) if self.variant == "eq9" else range(nu - 1, -1, -1)
+            half = self.n // 2
+            s1, s2 = self._scratch
+            for s in stages:
+                span = 1 << s
+                m = self._bit_factors[s]
+                src = w.reshape(-1, 2, span)
+                lo = src[:, 0, :]
+                hi = src[:, 1, :]
+                # Allocation-free butterfly: 7 streaming passes over N/2
+                # elements via the reusable scratch halves (the in-situ
+                # property of Eq. 9/10 — no Θ(N) temporaries per stage).
+                a = s1.reshape(lo.shape)
+                b = s2.reshape(lo.shape)
+                np.multiply(hi, m[1, 1], out=b)
+                np.multiply(lo, m[1, 0], out=a)
+                a += b  # new_hi
+                np.multiply(hi, m[0, 1], out=b)
+                lo *= m[0, 0]
+                lo += b  # new_lo, written in place
+                hi[:] = a
+            return w
+        if self._blocks is not None:
+            return kron_matvec(self._blocks, w)
+        return self.mutation.apply(w)
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = self.check(v)
+        if self.form == "left":
+            # _apply_form would hand the original v to q_apply; the
+            # in-situ butterfly must not clobber the caller's vector.
+            return self._f * self._q_fast(v.copy())
+        return self._apply_form(v, self._q_fast)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.form == "symmetric" and self.mutation.is_symmetric
+
+    def costs(self) -> OperatorCosts:
+        """Per stage: N/2 butterflies × (4 mem ops + 6 flops), ν stages,
+        plus the diagonal scaling — the paper's ``Θ(N log₂ N)``."""
+        n = float(self.n)
+        nu = float(self.mutation.nu)
+        scale_passes = 2.0 if self.form == "symmetric" else 1.0
+        if self._blocks is not None:
+            # Σ per-group contraction cost: N * 2^{g_i} mults/adds each.
+            contraction = sum(2.0 * n * (1 << b) for b in self.mutation.group_sizes)
+            flops = contraction + scale_passes * n
+            bytes_moved = 8.0 * (2.0 * n * len(self._blocks) + 3.0 * scale_passes * n)
+        else:
+            flops = 6.0 * (n / 2.0) * nu + scale_passes * n
+            bytes_moved = 8.0 * (4.0 * (n / 2.0) * nu + 3.0 * scale_passes * n)
+        return OperatorCosts(flops=flops, bytes_moved=bytes_moved, storage_bytes=8.0 * n)

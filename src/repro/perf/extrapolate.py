@@ -1,0 +1,115 @@
+"""Complexity-law fitting and extrapolation.
+
+The paper: "For ν ≥ 22 the execution times for Pi(Xmvp(ν)) are so long
+that they had to be extrapolated based on the curves in Figures 2 and 3."
+Same here: each operator's asymptotic law is known analytically, so we
+fit only the *scale factor* (in log space, over the largest measured
+points, where the asymptotic regime holds) and extend the series.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.perf.costs import xmvp_mask_count
+
+__all__ = ["ComplexityLaw", "fit_scale", "predict", "fit_and_extend"]
+
+
+class ComplexityLaw(enum.Enum):
+    """Growth laws in the chain length ν (with ``N = 2^ν``)."""
+
+    N_SQUARED = "N^2"
+    N_LOG2_N = "N log2 N"
+    N_LINEAR = "N"
+
+    def grow(self, nu: int, *, dmax: int | None = None) -> float:
+        """The raw growth function value at ν."""
+        n = float(1 << nu)
+        if self is ComplexityLaw.N_SQUARED:
+            return n * n
+        if self is ComplexityLaw.N_LOG2_N:
+            return n * nu
+        return n
+
+    @staticmethod
+    def xmvp_growth(nu: int, dmax: int) -> float:
+        """The exact Xmvp growth ``N·Σ_{k≤dmax}C(ν,k)`` (not a pure
+        power law — dmax-truncated binomial sums grow polynomially in ν
+        on top of N)."""
+        return float(1 << nu) * xmvp_mask_count(nu, dmax)
+
+
+def _growth_values(law, nus: Sequence[int], dmax: int | None) -> np.ndarray:
+    if callable(law):
+        return np.array([law(int(nu)) for nu in nus], dtype=np.float64)
+    if law is ComplexityLaw.N_SQUARED or law is ComplexityLaw.N_LOG2_N or law is ComplexityLaw.N_LINEAR:
+        return np.array([law.grow(int(nu)) for nu in nus], dtype=np.float64)
+    raise ValidationError(f"unsupported law {law!r}")
+
+
+def fit_scale(
+    law,
+    nus: Sequence[int],
+    seconds: Sequence[float],
+    *,
+    tail: int = 4,
+    dmax: int | None = None,
+) -> float:
+    """Least-squares fit (in log space) of ``t(ν) = a · g(ν)``.
+
+    Parameters
+    ----------
+    law:
+        A :class:`ComplexityLaw` or a callable ``nu -> growth``.
+    nus, seconds:
+        Measured series.
+    tail:
+        Only the last ``tail`` points enter the fit (the asymptotic
+        regime); all points are used when fewer are available.
+    """
+    nus = list(nus)
+    seconds = list(seconds)
+    if len(nus) != len(seconds) or not nus:
+        raise ValidationError("nus and seconds must be equal-length and non-empty")
+    if any(t <= 0 for t in seconds):
+        raise ValidationError("measured times must be positive")
+    sl = slice(-tail, None) if len(nus) > tail else slice(None)
+    g = _growth_values(law, nus[sl], dmax)
+    t = np.asarray(seconds[sl], dtype=np.float64)
+    # log t = log a + log g  ⇒  log a = mean(log t − log g)
+    log_a = float(np.mean(np.log(t) - np.log(g)))
+    return math.exp(log_a)
+
+
+def predict(law, scale: float, nus: Sequence[int], *, dmax: int | None = None) -> np.ndarray:
+    """Evaluate ``t(ν) = scale · g(ν)`` over ``nus``."""
+    if scale <= 0:
+        raise ValidationError("scale must be positive")
+    return scale * _growth_values(law, nus, dmax)
+
+
+def fit_and_extend(
+    law,
+    measured_nus: Sequence[int],
+    measured_seconds: Sequence[float],
+    target_nus: Sequence[int],
+    *,
+    tail: int = 4,
+    dmax: int | None = None,
+) -> np.ndarray:
+    """Fit on the measured series and return times over ``target_nus``,
+    keeping the measured values where available (only genuinely missing
+    points are extrapolated — the paper's procedure)."""
+    scale = fit_scale(law, measured_nus, measured_seconds, tail=tail, dmax=dmax)
+    out = predict(law, scale, target_nus, dmax=dmax)
+    lookup = {int(nu): float(t) for nu, t in zip(measured_nus, measured_seconds)}
+    for i, nu in enumerate(target_nus):
+        if int(nu) in lookup:
+            out[i] = lookup[int(nu)]
+    return out

@@ -1,0 +1,98 @@
+"""Wall-clock measurement of the real NumPy operators (Fig. 2 harness).
+
+Fig. 2 plots single-CPU-core runtimes of one ``W·x`` for the three
+operators over ν.  These helpers time the actual implementations with
+warm-up and median-of-repeats, and assemble per-operator series with
+per-operator feasibility caps (dense products stop where memory does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.operators.base import ImplicitOperator
+from repro.util.timing import TimingResult, median_time
+
+__all__ = ["measure_operator_matvec", "measure_series", "MeasuredSeries"]
+
+
+def measure_operator_matvec(
+    operator: ImplicitOperator,
+    v: np.ndarray | None = None,
+    *,
+    repeats: int = 5,
+    min_time: float = 0.01,
+) -> TimingResult:
+    """Median wall-clock of one ``operator.matvec`` call."""
+    if v is None:
+        rng = np.random.default_rng(0)
+        v = rng.random(operator.n) + 0.5
+    v = np.asarray(v, dtype=np.float64)
+    return median_time(lambda: operator.matvec(v), repeats=repeats, min_time=min_time)
+
+
+@dataclass
+class MeasuredSeries:
+    """A measured (ν → seconds) series for one operator."""
+
+    label: str
+    nus: list[int] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+    def add(self, nu: int, t: float) -> None:
+        self.nus.append(int(nu))
+        self.seconds.append(float(t))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.nus), np.asarray(self.seconds)
+
+
+def measure_series(
+    label: str,
+    nus: Sequence[int],
+    operator_factory: Callable[[int], ImplicitOperator],
+    *,
+    landscape_factory: Callable[[int], FitnessLandscape] | None = None,
+    repeats: int = 3,
+    min_time: float = 0.005,
+    budget_s: float = 60.0,
+) -> MeasuredSeries:
+    """Measure one operator across chain lengths.
+
+    Parameters
+    ----------
+    label:
+        Series name (e.g. ``"Fmmp"``).
+    nus:
+        Increasing chain lengths to measure.
+    operator_factory:
+        ``nu -> operator``; may raise :class:`ValidationError` for
+        infeasible sizes (the point is silently skipped, mirroring the
+        paper's truncated dense curves).
+    landscape_factory:
+        Optional; used only to build a realistic input vector.
+    repeats, min_time:
+        Per-point timing parameters.
+    budget_s:
+        Stop extending the series once a single matvec exceeds this.
+    """
+    series = MeasuredSeries(label)
+    for nu in nus:
+        try:
+            op = operator_factory(int(nu))
+        except (ValidationError, MemoryError):
+            continue
+        if landscape_factory is not None:
+            v = landscape_factory(int(nu)).start_vector()
+        else:
+            v = np.random.default_rng(nu).random(op.n) + 0.5
+        res = measure_operator_matvec(op, v, repeats=repeats, min_time=min_time)
+        series.add(int(nu), res.median)
+        if res.median > budget_s:
+            break
+    return series

@@ -1,0 +1,110 @@
+"""Speedup assembly — the Fig. 4 harness.
+
+Fig. 4 divides every (algorithm, hardware) curve by the reference
+``CPU-Pi(Xmvp(ν))`` times and adds the theoretical ``N²/(N log₂ N)``
+guide line.  The paper's qualitative observations, which the tests
+assert on our reproduction:
+
+* curves for different algorithms have different slopes,
+* the same algorithm on different hardware gives parallel (shifted)
+  curves,
+* GPU-Pi(Fmmp) reaches ≈2·10⁷ at ν = 25.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["speedup_series", "SpeedupTable", "theoretical_guideline"]
+
+
+def theoretical_guideline(nus: Sequence[int]) -> np.ndarray:
+    """The reference curve ``N² / (N log₂ N) = N/ν``."""
+    return np.array([float(1 << nu) / nu for nu in nus])
+
+
+def speedup_series(
+    reference_seconds: Mapping[int, float],
+    candidate_seconds: Mapping[int, float],
+) -> dict[int, float]:
+    """``speedup(ν) = t_ref(ν) / t_cand(ν)`` over the common ν values."""
+    common = sorted(set(reference_seconds) & set(candidate_seconds))
+    if not common:
+        raise ValidationError("reference and candidate series share no chain lengths")
+    out = {}
+    for nu in common:
+        t_ref = float(reference_seconds[nu])
+        t_c = float(candidate_seconds[nu])
+        if t_ref <= 0 or t_c <= 0:
+            raise ValidationError(f"non-positive time at nu={nu}")
+        out[nu] = t_ref / t_c
+    return out
+
+
+@dataclass
+class SpeedupTable:
+    """All Fig. 4 series over a common ν grid.
+
+    Attributes
+    ----------
+    nus:
+        The ν grid.
+    reference_label:
+        Name of the denominator series (``CPU-Pi(Xmvp(ν))``).
+    series:
+        ``label -> {nu: speedup}`` including the theoretical guide line.
+    """
+
+    nus: list[int]
+    reference_label: str
+    series: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        reference_label: str,
+        reference_seconds: Mapping[int, float],
+        candidates: Mapping[str, Mapping[int, float]],
+        *,
+        include_guideline: bool = True,
+    ) -> "SpeedupTable":
+        nus = sorted(reference_seconds)
+        table = cls(nus=nus, reference_label=reference_label)
+        if include_guideline:
+            guide = theoretical_guideline(nus)
+            table.series["N^2/(N log2 N)"] = {nu: float(g) for nu, g in zip(nus, guide)}
+        for label, seconds in candidates.items():
+            table.series[label] = speedup_series(reference_seconds, seconds)
+        return table
+
+    def at(self, label: str, nu: int) -> float:
+        try:
+            return self.series[label][nu]
+        except KeyError:
+            raise ValidationError(f"no speedup for {label!r} at nu={nu}") from None
+
+    def slope(self, label: str, *, min_nu: int | None = None) -> float:
+        """Least-squares per-ν slope of ``log10(speedup)`` — the quantity
+        that is equal for one algorithm across hardware and differs
+        between algorithms (paper's reading of Fig. 4).
+
+        ``min_nu`` restricts the fit to the asymptotic tail: the paper's
+        "(asymptotically) parallel" wording matters — at small ν,
+        launch-overhead effects bend the GPU curves.
+        """
+        data = self.series.get(label)
+        if not data or len(data) < 2:
+            raise ValidationError(f"series {label!r} too short for a slope")
+        nus = np.array(sorted(nu for nu in data if min_nu is None or nu >= min_nu))
+        if nus.size < 2:
+            raise ValidationError(f"series {label!r} too short beyond min_nu={min_nu}")
+        vals = np.log10([data[int(nu)] for nu in nus])
+        # Least-squares slope.
+        a = np.vstack([nus, np.ones_like(nus)]).T
+        coef, *_ = np.linalg.lstsq(a.astype(float), vals, rcond=None)
+        return float(coef[0])

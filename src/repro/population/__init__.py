@@ -1,0 +1,15 @@
+"""Finite-population stochastic dynamics.
+
+The quasispecies ODE (Eq. 1) is the infinite-population limit.  The
+paper's reference [11] (Nowak & Schuster 1989) studies what finite
+populations do to the error threshold; this package provides the
+standard Wright–Fisher simulator for the same mutation/selection
+kernel, driven by the library's fast matvec, so the deterministic
+solvers can be validated against (and contrasted with) stochastic
+finite-N behaviour.
+"""
+
+from repro.population.wright_fisher import WrightFisher, TrajectoryStats
+from repro.population.sparse import SparseWrightFisher
+
+__all__ = ["WrightFisher", "TrajectoryStats", "SparseWrightFisher"]

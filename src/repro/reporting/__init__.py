@@ -1,0 +1,12 @@
+"""Rendering of experiment outputs: ASCII tables and figure series."""
+
+from repro.reporting.tables import render_table, format_seconds, format_sci
+from repro.reporting.series import FigureSeries, SeriesBundle
+
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "format_sci",
+    "FigureSeries",
+    "SeriesBundle",
+]

@@ -1,0 +1,95 @@
+"""Figure-series containers with CSV export.
+
+Each paper figure is a bundle of named (x → y) series; the benches build
+:class:`SeriesBundle` objects, print them, and can persist them as CSV
+for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+__all__ = ["FigureSeries", "SeriesBundle"]
+
+
+@dataclass
+class FigureSeries:
+    """One named curve: parallel ``x`` and ``y`` sequences."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_mapping(self) -> dict[float, float]:
+        return dict(zip(self.x, self.y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class SeriesBundle:
+    """A figure: title, axis names, and a set of curves on a shared x."""
+
+    title: str
+    x_label: str = "x"
+    y_label: str = "y"
+    series: dict[str, FigureSeries] = field(default_factory=dict)
+
+    def new_series(self, label: str) -> FigureSeries:
+        if label in self.series:
+            raise ValidationError(f"series {label!r} already exists in {self.title!r}")
+        s = FigureSeries(label)
+        self.series[label] = s
+        return s
+
+    def add_mapping(self, label: str, data: Mapping[float, float]) -> FigureSeries:
+        s = self.new_series(label)
+        for x in sorted(data):
+            s.add(x, data[x])
+        return s
+
+    # ------------------------------------------------------------- export
+    def to_csv(self) -> str:
+        """Wide CSV: first column x, one column per series (blank where a
+        series has no value at that x)."""
+        xs = sorted({x for s in self.series.values() for x in s.x})
+        labels = list(self.series)
+        buf = io.StringIO()
+        buf.write(",".join([self.x_label] + labels) + "\n")
+        maps = {lbl: self.series[lbl].as_mapping() for lbl in labels}
+        for x in xs:
+            cells = [repr(x)]
+            for lbl in labels:
+                v = maps[lbl].get(x)
+                cells.append("" if v is None else repr(v))
+            buf.write(",".join(cells) + "\n")
+        return buf.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv())
+
+    def render(self, *, float_fmt: str = "{:.6g}") -> str:
+        """Readable multi-column text rendering of all series."""
+        from repro.reporting.tables import render_table
+
+        xs = sorted({x for s in self.series.values() for x in s.x})
+        labels = list(self.series)
+        maps = {lbl: self.series[lbl].as_mapping() for lbl in labels}
+        rows = []
+        for x in xs:
+            row = [float_fmt.format(x)]
+            for lbl in labels:
+                v = maps[lbl].get(x)
+                row.append("" if v is None else float_fmt.format(v))
+            rows.append(row)
+        return render_table([self.x_label] + labels, rows, title=self.title)

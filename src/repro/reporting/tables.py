@@ -1,0 +1,70 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ValidationError
+
+__all__ = ["render_table", "format_seconds", "format_sci"]
+
+
+def format_seconds(t: float) -> str:
+    """Human-scaled duration: ns/µs/ms/s."""
+    if t != t:  # NaN
+        return "n/a"
+    if t < 0:
+        raise ValidationError(f"negative duration {t}")
+    if t < 1e-6:
+        return f"{t * 1e9:.1f} ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} µs"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    if t < 120.0:
+        return f"{t:.2f} s"
+    return f"{t / 60.0:.1f} min"
+
+
+def format_sci(x: float, digits: int = 2) -> str:
+    """Scientific notation like ``2.1e+07`` (figure-axis style)."""
+    return f"{x:.{digits}e}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render an ASCII table with padded columns.
+
+    All cells are stringified with ``str``; callers pre-format numbers.
+    """
+    if not headers:
+        raise ValidationError("table needs at least one column")
+    cols = len(headers)
+    cells = [[str(h) for h in headers]]
+    for r in rows:
+        if len(r) != cols:
+            raise ValidationError(f"row {r!r} has {len(r)} cells, expected {cols}")
+        cells.append([str(c) for c in r])
+    widths = [max(len(row[c]) for row in cells) for c in range(cols)]
+
+    def fmt_row(row: list[str]) -> str:
+        if align_right:
+            return "  ".join(row[c].rjust(widths[c]) for c in range(cols))
+        return "  ".join(row[c].ljust(widths[c]) for c in range(cols))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells[1:])
+    return "\n".join(lines)

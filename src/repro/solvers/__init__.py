@@ -1,0 +1,58 @@
+"""Eigensolvers for the quasispecies eigenproblem.
+
+* :class:`~repro.solvers.power.PowerIteration` — the paper's workhorse
+  (Sec. 3): minimal storage, guaranteed convergence (Perron–Frobenius +
+  positive definiteness), optional conservative shift.
+* :func:`~repro.solvers.dense.dense_dominant_eigenpair` — LAPACK baseline
+  for validation at small ν.
+* :class:`~repro.solvers.lanczos.Lanczos` — Krylov alternative on the
+  symmetric form; converges in fewer matvecs but stores a basis (the
+  trade-off the paper cites for preferring power iteration at scale).
+* :mod:`~repro.solvers.shift_invert` — exact shift-and-invert / Rayleigh
+  quotient iteration for pure-``Q`` problems via the FWHT, plus a
+  CG-based inverse iteration for full ``W`` (the paper's "current work"
+  item, implemented here as an extension).
+* :class:`~repro.solvers.reduced.ReducedSolver` — the exact
+  (ν+1)-dimensional reduction for Hamming landscapes (Sec. 5.1).
+* :class:`~repro.solvers.kron_solver.KroneckerSolver` — the decoupled
+  solver for Kronecker landscapes (Sec. 5.2) with an implicit
+  (lazy) eigenvector representation.
+"""
+
+from repro.solvers.result import SolveResult, IterationRecord
+from repro.solvers.power import PowerIteration
+from repro.solvers.dense import dense_dominant_eigenpair, dense_solve
+from repro.solvers.lanczos import Lanczos
+from repro.solvers.arnoldi import Arnoldi
+from repro.solvers.shift_invert import (
+    rayleigh_quotient_iteration_q,
+    inverse_iteration_q,
+    cg_inverse_iteration,
+)
+from repro.solvers.reduced import ReducedSolver, reduced_w_matrix
+from repro.solvers.kron_solver import KroneckerSolver, KroneckerEigenvector
+from repro.solvers.left_eigen import (
+    TransposedFmmp,
+    left_eigenvector,
+    reproductive_values,
+)
+
+__all__ = [
+    "SolveResult",
+    "IterationRecord",
+    "PowerIteration",
+    "dense_dominant_eigenpair",
+    "dense_solve",
+    "Lanczos",
+    "Arnoldi",
+    "rayleigh_quotient_iteration_q",
+    "inverse_iteration_q",
+    "cg_inverse_iteration",
+    "ReducedSolver",
+    "reduced_w_matrix",
+    "KroneckerSolver",
+    "KroneckerEigenvector",
+    "TransposedFmmp",
+    "left_eigenvector",
+    "reproductive_values",
+]

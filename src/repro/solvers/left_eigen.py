@@ -1,0 +1,140 @@
+"""Left Perron eigenvector — genotype reproductive values.
+
+For symmetric ``Q`` the left and right eigenvectors of ``W = Q·F``
+coincide up to diagonal scalings, but the generalized mutation processes
+of Sec. 2.2 make ``W`` genuinely non-symmetric, and then the *left*
+Perron vector ``u`` (``uᵀW = λ₀uᵀ``) carries its own biology: ``u_i`` is
+the **reproductive value** of genotype ``i`` — the long-run contribution
+of one individual of type ``i`` to the future population (the classical
+Fisher notion; it weights each genotype by where its mutational lineage
+goes, not where it sits).
+
+Computed with the same machinery as everything else: the transpose
+matvec is just the butterfly with transposed factors (``(A⊗B)ᵀ =
+Aᵀ⊗Bᵀ``), wrapped in the adjoint of the landscape scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.mutation.base import MutationModel
+from repro.mutation.grouped import GroupedMutation
+from repro.mutation.persite import PerSiteMutation
+from repro.mutation.uniform import UniformMutation
+from repro.operators.base import FORMS, ImplicitOperator, OperatorCosts
+from repro.operators.fmmp import Fmmp
+from repro.solvers.power import PowerIteration
+from repro.solvers.result import SolveResult
+
+__all__ = ["TransposedFmmp", "left_eigenvector", "reproductive_values"]
+
+
+def _transposed_mutation(mutation: MutationModel) -> MutationModel:
+    """The mutation model whose ``Q`` is the transpose of the input's."""
+    if isinstance(mutation, UniformMutation):
+        return mutation  # symmetric
+    if isinstance(mutation, PerSiteMutation):
+        return PerSiteMutation([f.T for f in mutation.factors_per_bit()])
+    if isinstance(mutation, GroupedMutation):
+        # NOTE: transposed blocks are *row* stochastic; GroupedMutation
+        # validates column stochasticity, so build via the generic path.
+        raise ValidationError(
+            "transpose of a grouped model is not column stochastic; "
+            "use TransposedFmmp which transposes implicitly"
+        )
+    raise ValidationError(f"unsupported mutation model {type(mutation).__name__}")
+
+
+class TransposedFmmp(ImplicitOperator):
+    """Implicit ``Wᵀ·v`` at the same ``Θ(N log₂ N)`` cost.
+
+    ``(Q·F)ᵀ = F·Qᵀ`` and ``Qᵀ = ⊗ M_iᵀ`` — the same butterfly with each
+    2×2 (or 2^g×2^g) factor transposed, composed with the diagonal on
+    the correct side for each form (Eqs. 3–5).
+    """
+
+    def __init__(self, mutation: MutationModel, landscape: FitnessLandscape, form: str = "right"):
+        if form not in FORMS:
+            raise ValidationError(f"form must be one of {FORMS}, got {form!r}")
+        if mutation.nu != landscape.nu:
+            raise ValidationError("mutation and landscape chain lengths disagree")
+        self.mutation = mutation
+        self.landscape = landscape
+        self.form = form
+        self.n = mutation.n
+        self._f = landscape.values()
+        self._sqrt_f = np.sqrt(self._f)
+        if isinstance(mutation, GroupedMutation):
+            from repro.transforms.kronecker import kron_matvec
+
+            blocks_t = [b.T for b in mutation.blocks()]
+            self._qt = lambda w: kron_matvec(blocks_t, w)
+        elif isinstance(mutation, (UniformMutation, PerSiteMutation)):
+            from repro.transforms.butterfly import butterfly_transform
+
+            factors_t = [f.T for f in mutation.factors_per_bit()]
+            self._qt = lambda w: butterfly_transform(w, factors_t, in_place=True)
+        else:
+            raise ValidationError(f"unsupported mutation model {type(mutation).__name__}")
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = self.check(v)
+        if self.form == "right":  # (QF)^T = F Q^T
+            return self._f * self._qt(v.copy())
+        if self.form == "left":  # (FQ)^T = Q^T F
+            return self._qt(self._f * v)
+        return self._sqrt_f * self._qt(self._sqrt_f * v)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.form == "symmetric" and self.mutation.is_symmetric
+
+    def costs(self) -> OperatorCosts:
+        """Identical to the forward operator's (same stage structure)."""
+        return Fmmp(self.mutation, self.landscape, form=self.form).costs()
+
+
+def left_eigenvector(
+    mutation: MutationModel,
+    landscape: FitnessLandscape,
+    *,
+    form: str = "right",
+    tol: float = 1e-12,
+    max_iterations: int = 200_000,
+) -> SolveResult:
+    """Dominant *left* eigenpair of ``W`` via power iteration on ``Wᵀ``.
+
+    The returned ``eigenvector`` is the left Perron vector ``u``
+    (1-norm, positive); ``eigenvalue`` must — and is asserted in the
+    tests to — match the right eigenvalue λ₀.
+    """
+    op = TransposedFmmp(mutation, landscape, form=form)
+    pi = PowerIteration(op, tol=tol, max_iterations=max_iterations)
+    res = pi.solve(np.ones(mutation.n) / mutation.n, method_name=f"LeftPi(Fmmp^T, {form})")
+    return res
+
+
+def reproductive_values(
+    mutation: MutationModel,
+    landscape: FitnessLandscape,
+    *,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Fisher reproductive values of all genotypes.
+
+    The left Perron vector of the right form ``W = Q·F``, normalized so
+    the population-average reproductive value is one:
+    ``Σ_i u_i x_i = 1`` with ``x`` the stationary distribution.
+    """
+    left = left_eigenvector(mutation, landscape, form="right", tol=tol)
+    right = PowerIteration(Fmmp(mutation, landscape), tol=tol).solve(
+        landscape.start_vector(), landscape=landscape
+    )
+    u = left.eigenvector
+    scale = float(u @ right.concentrations)
+    if scale <= 0.0:
+        raise ValidationError("degenerate left/right normalization")
+    return u / scale

@@ -1,0 +1,167 @@
+"""The (shifted) power iteration — the paper's solver of choice (Sec. 3).
+
+Why power iteration: ``W`` is positive definite (Sec. 2) and
+Perron–Frobenius applies, so ``λ₀ > λ₁ ≥ … ≥ λ_{N−1} > 0`` and
+convergence to the Perron vector is guaranteed.  Among Krylov methods it
+has the smallest possible memory footprint — one extra vector — which is
+the binding constraint once ``N = 2^ν`` vectors barely fit in memory.
+
+Paper-faithful details implemented here:
+
+* start vector ``s = diag(F)/‖diag(F)‖₁`` (the landscape itself),
+* stopping criterion: the residual ``R(λ̃, x̃) = ‖W·x̃ − λ̃·x̃‖₂``,
+* optional conservative shift ``μ = (1−2p)^ν f_min`` (via
+  :class:`~repro.operators.shifted.ShiftedOperator`), which improves the
+  rate from ``λ₁/λ₀`` to ``(λ₁−μ)/(λ₀−μ)`` and cuts iteration counts by
+  ≳10 % on random landscapes (reproduced in the shift-ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.operators.base import ImplicitOperator
+from repro.operators.dense_w import convert_eigenvector
+from repro.operators.shifted import ShiftedOperator
+from repro.solvers.result import IterationRecord, SolveResult
+
+__all__ = ["PowerIteration"]
+
+
+class PowerIteration:
+    """Power iteration on any implicit operator.
+
+    Parameters
+    ----------
+    operator:
+        The implicit product for ``W`` (any form); if a
+        :class:`~repro.operators.shifted.ShiftedOperator` is passed, the
+        reported eigenvalue is automatically un-shifted.
+    tol:
+        Residual threshold ``τ`` on ``‖Wx − λx‖₂`` (paper: 1e−15 for the
+        exact products, 1e−10 for Xmvp(5)).
+    max_iterations:
+        Safety cap; exceeded ⇒ :class:`ConvergenceError` unless
+        ``raise_on_fail=False``.
+    record_history:
+        Keep a per-iteration (λ, residual) trace.
+
+    Notes
+    -----
+    Iterates are normalized in the **1-norm** — they are relative
+    concentrations, and this keeps the Rayleigh-like eigenvalue estimate
+    ``λ̃ = ‖W·x‖₁ / ‖x‖₁`` exact in the limit for the positive Perron
+    vector (for positive ``x`` and non-negative ``W``, ``1ᵀWx = λ 1ᵀx``
+    at the fixed point).  The residual is still measured in the 2-norm,
+    as in the paper.
+    """
+
+    def __init__(
+        self,
+        operator: ImplicitOperator,
+        *,
+        tol: float = 1e-12,
+        max_iterations: int = 100_000,
+        record_history: bool = False,
+    ):
+        if tol <= 0.0:
+            raise ValidationError(f"tol must be positive, got {tol}")
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        self.operator = operator
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+        self.record_history = bool(record_history)
+
+    # --------------------------------------------------------------- solve
+    def solve(
+        self,
+        start: np.ndarray,
+        *,
+        landscape=None,
+        form: str = "right",
+        raise_on_fail: bool = True,
+        method_name: str | None = None,
+    ) -> SolveResult:
+        """Run the iteration from ``start``.
+
+        Parameters
+        ----------
+        start:
+            Starting vector (e.g. ``landscape.start_vector()``); must
+            have positive mass.
+        landscape, form:
+            When given, the converged eigenvector is also converted to
+            physical concentrations ``x_R`` (see
+            :func:`repro.operators.dense_w.convert_eigenvector`);
+            otherwise the working-form vector doubles as concentrations.
+        raise_on_fail:
+            Raise :class:`ConvergenceError` when the tolerance is not
+            met within ``max_iterations`` (default), else return the
+            best iterate with ``converged=False``.
+        method_name:
+            Label stored in the result (defaults to
+            ``Pi(<operator class>)``).
+        """
+        op = self.operator
+        mu = op.mu if isinstance(op, ShiftedOperator) else 0.0
+        x = np.asarray(start, dtype=np.float64).copy()
+        if x.shape != (op.n,):
+            raise ValidationError(f"start vector must have shape ({op.n},), got {x.shape}")
+        mass = np.abs(x).sum()
+        if mass <= 0.0:
+            raise ValidationError("start vector must have nonzero mass")
+        x /= mass
+
+        history: list[IterationRecord] = []
+        lam = 0.0
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            y = op.matvec(x)
+            lam = float(np.abs(y).sum())  # 1-norm estimate; y > 0 near the fixed point
+            if lam <= 0.0:
+                raise ConvergenceError(
+                    "iterate collapsed to zero — W is not acting as a positive operator",
+                    iterations=iterations,
+                    residual=float("nan"),
+                )
+            y /= lam
+            # Residual of the *normalized* pair: ‖W x − λ x‖₂ = λ‖y − x‖₂.
+            residual = lam * float(np.linalg.norm(y - x))
+            x = y
+            if self.record_history:
+                history.append(IterationRecord(iterations, lam + mu, residual))
+            if residual < self.tol:
+                break
+        else:  # pragma: no cover - loop always breaks or exhausts
+            pass
+
+        converged = residual < self.tol
+        if not converged and raise_on_fail:
+            raise ConvergenceError(
+                f"power iteration did not reach tol={self.tol} in "
+                f"{self.max_iterations} iterations (residual={residual:.3e})",
+                iterations=iterations,
+                residual=residual,
+            )
+
+        eigenvalue = lam + mu  # un-shift
+        x = np.abs(x)  # Perron vector: clean up −0.0 / tiny negative noise
+        x /= x.sum()
+        if landscape is not None:
+            concentrations = convert_eigenvector(x, landscape, form)
+        else:
+            concentrations = x
+        name = method_name or f"Pi({type(op).__name__})"
+        return SolveResult(
+            eigenvalue=eigenvalue,
+            eigenvector=x,
+            concentrations=concentrations,
+            iterations=iterations,
+            residual=residual,
+            converged=converged,
+            method=name,
+            history=history,
+        )

@@ -1,0 +1,67 @@
+"""Solver result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolveResult", "IterationRecord"]
+
+
+@dataclass
+class IterationRecord:
+    """One step of an iterative eigensolver's history."""
+
+    iteration: int
+    eigenvalue: float
+    residual: float
+
+
+@dataclass
+class SolveResult:
+    """Dominant eigenpair of the quasispecies matrix ``W``.
+
+    Attributes
+    ----------
+    eigenvalue:
+        The dominant eigenvalue λ₀ of ``W`` (mean fitness of the
+        stationary population).
+    eigenvector:
+        The Perron eigenvector in the solver's working form, normalized
+        to unit 1-norm with non-negative entries.
+    concentrations:
+        The eigenvector converted to the *right* form ``x_R`` — the
+        physical relative concentrations (``Σᵢ xᵢ = 1``).
+    iterations:
+        Matvec-bearing iterations performed (0 for direct solvers).
+    residual:
+        Final residual ``‖W·x − λ·x‖₂`` in the working form.
+    converged:
+        Whether the tolerance was reached (always ``True`` for direct
+        solvers).
+    history:
+        Per-iteration eigenvalue/residual trace (present when the solver
+        was asked to record it).
+    method:
+        Human-readable description, e.g. ``"Pi(Fmmp)"``.
+    """
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    concentrations: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    method: str
+    history: list[IterationRecord] = field(default_factory=list, repr=False)
+
+    def error_class_concentrations(self, nu: int) -> np.ndarray:
+        """Cumulative concentrations ``[Γ_k]`` of the error classes.
+
+        Convenience wrapper around
+        :func:`repro.model.concentrations.class_concentrations`.
+        """
+        from repro.model.concentrations import class_concentrations
+
+        return class_concentrations(self.concentrations, nu)

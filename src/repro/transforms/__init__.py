@@ -1,0 +1,36 @@
+"""Fast structured transforms.
+
+The paper's central observation is that the mutation matrix ``Q`` has a
+Kronecker-product factorization (Eq. 7), so multiplying by it is an
+FFT/FWHT-like butterfly transform with ``Θ(N log₂ N)`` cost.  This package
+holds the transform machinery itself, independent of the quasispecies
+semantics:
+
+* :mod:`repro.transforms.butterfly` — in-place 2×2-stage butterfly engine
+  (vectorized NumPy plus a literal scalar transcription of the paper's
+  Algorithm 1 for validation),
+* :mod:`repro.transforms.fwht` — the fast Walsh–Hadamard transform used to
+  diagonalize ``Q``,
+* :mod:`repro.transforms.kronecker` — matvec with an arbitrary Kronecker
+  product of small dense factors (Eq. 11 generality).
+"""
+
+from repro.transforms.butterfly import (
+    apply_stage,
+    butterfly_transform,
+    butterfly_transform_reference,
+)
+from repro.transforms.fwht import fwht, fwht_inverse, fwht_matrix
+from repro.transforms.kronecker import kron_matvec, kron_vector, kron_diagonal
+
+__all__ = [
+    "apply_stage",
+    "butterfly_transform",
+    "butterfly_transform_reference",
+    "fwht",
+    "fwht_inverse",
+    "fwht_matrix",
+    "kron_matvec",
+    "kron_vector",
+    "kron_diagonal",
+]

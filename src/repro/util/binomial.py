@@ -1,0 +1,58 @@
+"""Exact binomial coefficients.
+
+Error classes ``Γ_k`` contain ``C(ν, k)`` sequences (paper, Sec. 1.1) and
+both the reduced mutation matrix (Eq. 14) and the recovery of cumulative
+concentrations from the reduced eigenvector rescale by binomials.  Chain
+lengths stay modest (ν ≤ a few hundred even in the structured solvers), so
+exact integer arithmetic via :func:`math.comb` is both safe and fast; we
+convert to ``float64`` only at the boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["binomial", "binomial_row", "log_binomial"]
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient ``C(n, k)``; zero outside ``0 <= k <= n``."""
+    if n < 0:
+        raise ValidationError(f"binomial requires n >= 0, got n={n}")
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def binomial_row(n: int) -> np.ndarray:
+    """The full row ``[C(n,0), C(n,1), ..., C(n,n)]`` as ``float64``.
+
+    For ``n <= 1028`` every entry is exactly representable is *not*
+    guaranteed (C(1028,514) overflows float64), but for the chain lengths
+    used here (``n <= 64``) the conversion is exact.
+    """
+    if n < 0:
+        raise ValidationError(f"binomial_row requires n >= 0, got {n}")
+    row = np.empty(n + 1, dtype=np.float64)
+    c = 1
+    for k in range(n + 1):
+        row[k] = float(c)
+        c = c * (n - k) // (k + 1)
+    return row
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of ``C(n, k)``; ``-inf`` outside the valid range.
+
+    Used where products of binomials with tiny powers of ``p`` would
+    underflow in linear space (very long chains in the reduced solver).
+    """
+    if n < 0:
+        raise ValidationError(f"log_binomial requires n >= 0, got n={n}")
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)

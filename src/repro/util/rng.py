@@ -1,0 +1,24 @@
+"""Seed handling.
+
+Every stochastic component of the library (random landscapes, randomized
+test vectors, device-validation sampling) accepts ``seed`` arguments that
+are normalized here, so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh OS entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can thread one generator
+    through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

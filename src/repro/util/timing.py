@@ -1,0 +1,109 @@
+"""Wall-clock measurement helpers for the benchmark harness.
+
+The paper reports single-core CPU times (Fig. 2) and end-to-end GPU times
+(Fig. 3).  For the CPU measurements we follow the standard methodology from
+the scientific-Python optimization literature: warm up once, repeat the
+measurement several times, report the *median* (robust against OS jitter;
+the minimum is also exposed for "best achievable" comparisons).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Timer", "median_time", "TimingResult"]
+
+
+@dataclass
+class TimingResult:
+    """Result of a repeated timing run (all values in seconds)."""
+
+    median: float
+    minimum: float
+    maximum: float
+    repeats: int
+    samples: list[float] = field(repr=False, default_factory=list)
+
+
+class Timer:
+    """Context-manager stopwatch based on :func:`time.perf_counter`.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def median_time(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    min_time: float = 0.0,
+) -> TimingResult:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` unmeasured calls.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is discarded.
+    repeats:
+        Number of measured samples (>= 1).
+    warmup:
+        Unmeasured calls executed first (cache/JIT warm-up).
+    min_time:
+        If the first measured sample is faster than this, the call is
+        batched in an inner loop so each sample lasts at least
+        ``min_time`` seconds; per-call time is reported.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+
+    # Calibrate an inner-loop count so each sample is long enough to be
+    # meaningful on a fast clock.
+    inner = 1
+    if min_time > 0.0:
+        t0 = time.perf_counter()
+        fn()
+        single = time.perf_counter() - t0
+        if single < min_time:
+            inner = max(1, int(min_time / max(single, 1e-9)))
+
+    samples: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - t0) / inner)
+
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    return TimingResult(
+        median=median,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        repeats=repeats,
+        samples=samples,
+    )

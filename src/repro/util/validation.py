@@ -1,0 +1,119 @@
+"""Argument validation helpers shared across the library.
+
+These helpers centralize the error messages and the accepted ranges for the
+quantities that appear throughout the quasispecies model:
+
+* the chain length ``nu`` (``ν`` in the paper) with ``N = 2**nu``,
+* the per-site error rate ``p`` with ``0 < p <= 1/2``,
+* concentration / state vectors of length ``N``.
+
+Raising early with a precise message is cheap compared to any of the
+``Θ(N log N)`` operations the library performs, so every public entry point
+validates its inputs through these functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_chain_length",
+    "check_error_rate",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability_vector",
+    "check_vector",
+]
+
+#: Largest chain length accepted by default.  2**MAX_NU doubles is 2 GiB of
+#: state for a single vector; anything beyond that needs the structured
+#: (reduced / Kronecker) solvers which do not allocate full vectors.
+MAX_NU = 28
+
+
+def check_chain_length(nu: int, *, max_nu: int = MAX_NU) -> int:
+    """Validate a chain length ``nu`` and return it as a plain ``int``.
+
+    Parameters
+    ----------
+    nu:
+        Chain length ``ν >= 1``.
+    max_nu:
+        Upper bound guarding against accidental exponential allocations.
+    """
+    if not isinstance(nu, (int, np.integer)) or isinstance(nu, bool):
+        raise ValidationError(f"chain length nu must be an integer, got {nu!r}")
+    nu = int(nu)
+    if nu < 1:
+        raise ValidationError(f"chain length nu must be >= 1, got {nu}")
+    if nu > max_nu:
+        raise ValidationError(
+            f"chain length nu={nu} exceeds the safety limit {max_nu}; "
+            "use the reduced or Kronecker solvers for long chains"
+        )
+    return nu
+
+
+def check_error_rate(p: float, *, allow_zero: bool = False) -> float:
+    """Validate an error rate ``p`` with ``0 < p <= 1/2`` (paper, Sec. 1).
+
+    ``allow_zero=True`` admits ``p == 0`` (useful for sweeps that include
+    the error-free point).
+    """
+    p = float(p)
+    if np.isnan(p):
+        raise ValidationError("error rate p must not be NaN")
+    low_ok = p >= 0.0 if allow_zero else p > 0.0
+    if not (low_ok and p <= 0.5):
+        bound = "0 <= p <= 1/2" if allow_zero else "0 < p <= 1/2"
+        raise ValidationError(f"error rate must satisfy {bound}, got {p}")
+    return p
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite, strictly positive scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def check_power_of_two(n: int, name: str = "n") -> int:
+    """Validate that ``n`` is a positive power of two and return it."""
+    if not isinstance(n, (int, np.integer)) or isinstance(n, bool):
+        raise ValidationError(f"{name} must be an integer, got {n!r}")
+    n = int(n)
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValidationError(f"{name} must be a positive power of two, got {n}")
+    return n
+
+
+def check_vector(v: np.ndarray, n: int, name: str = "v") -> np.ndarray:
+    """Validate that ``v`` is a 1-D real vector of length ``n``.
+
+    Returns a ``float64`` array (a view when possible, a copy when the
+    dtype must change); never modifies the input.
+    """
+    arr = np.asarray(v)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.shape[0] != n:
+        raise ValidationError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        if not np.issubdtype(arr.dtype, np.number) or np.issubdtype(arr.dtype, np.complexfloating):
+            raise ValidationError(f"{name} must be a real numeric vector, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def check_probability_vector(v: np.ndarray, n: int, name: str = "v", *, atol: float = 1e-10) -> np.ndarray:
+    """Validate a vector of relative concentrations: length ``n``,
+    non-negative entries, summing to one within ``atol``."""
+    arr = check_vector(v, n, name)
+    if np.any(arr < -atol):
+        raise ValidationError(f"{name} must be non-negative (concentrations)")
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol:
+        raise ValidationError(f"{name} must sum to 1 (got {total})")
+    return arr

@@ -1,0 +1,157 @@
+"""Cross-solver consistency harness.
+
+Runs the same quasispecies problem through every applicable solver route
+and reports pairwise agreement — the executable form of the paper's "the
+reference computation and the fastest combination deliver the same
+results".  Used by the integration tests, exposed to users through
+``python -m repro.cli crosscheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes.base import FitnessLandscape
+from repro.model.concentrations import class_concentrations
+from repro.model.quasispecies import QuasispeciesModel
+from repro.mutation.base import MutationModel
+from repro.mutation.uniform import UniformMutation
+
+__all__ = ["crosscheck", "CrosscheckReport", "RouteOutcome"]
+
+
+@dataclass
+class RouteOutcome:
+    """One solver route's result in the cross-check."""
+
+    label: str
+    eigenvalue: float
+    class_concentrations: np.ndarray
+    iterations: int
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass
+class CrosscheckReport:
+    """Agreement report across all routes.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-route results (failed routes carry their error message).
+    max_eigenvalue_spread:
+        Largest |λ_a − λ_b| across successful routes.
+    max_concentration_spread:
+        Largest per-class concentration disagreement across routes.
+    consistent:
+        Whether all spreads are within the requested tolerance.
+    tolerance:
+        The acceptance tolerance used.
+    """
+
+    outcomes: list[RouteOutcome] = field(default_factory=list)
+    max_eigenvalue_spread: float = 0.0
+    max_concentration_spread: float = 0.0
+    consistent: bool = True
+    tolerance: float = 0.0
+
+    def summary_rows(self) -> list[list[str]]:
+        rows = []
+        for o in self.outcomes:
+            if o.ok:
+                rows.append([o.label, f"{o.eigenvalue:.12f}", str(o.iterations), "ok"])
+            else:
+                rows.append([o.label, "-", "-", f"failed: {o.error}"])
+        return rows
+
+
+def _routes(model: QuasispeciesModel) -> list[tuple[str, dict]]:
+    """The solver routes applicable to this model's structure."""
+    routes: list[tuple[str, dict]] = [
+        ("Pi(Fmmp)", dict(method="power", operator="fmmp")),
+        ("Pi(Fmmp, shifted)" , dict(method="power", operator="fmmp", shift=True)),
+        ("Lanczos", dict(method="lanczos")),
+        ("Arnoldi", dict(method="arnoldi")),
+    ]
+    if isinstance(model.mutation, UniformMutation):
+        routes.insert(1, ("Pi(Xmvp(nu))", dict(method="power", operator="xmvp")))
+    if model.nu <= 10:
+        routes.append(("Dense", dict(method="dense")))
+    if model.landscape.is_error_class_landscape and isinstance(model.mutation, UniformMutation):
+        routes.append(("Reduced(nu+1)", dict(method="reduced")))
+    # Shift only valid for the uniform model.
+    if not isinstance(model.mutation, UniformMutation):
+        routes = [r for r in routes if "shifted" not in r[0]]
+    return routes
+
+
+def crosscheck(
+    landscape: FitnessLandscape,
+    mutation: MutationModel | None = None,
+    *,
+    p: float | None = None,
+    tol: float = 1e-11,
+    accept: float = 1e-7,
+) -> CrosscheckReport:
+    """Solve via every applicable route and compare.
+
+    Parameters
+    ----------
+    landscape, mutation, p:
+        Model ingredients (as in :class:`QuasispeciesModel`).
+    tol:
+        Solver tolerance for the iterative routes.
+    accept:
+        Maximum allowed spread in eigenvalue and class concentrations
+        for the report to be marked ``consistent``.
+    """
+    model = QuasispeciesModel(landscape, mutation, p=p)
+    report = CrosscheckReport(tolerance=accept)
+    for label, kwargs in _routes(model):
+        try:
+            res = model.solve(tol=tol, **kwargs)
+            conc = res.concentrations
+            gamma = (
+                conc
+                if conc.shape[0] == model.nu + 1
+                else class_concentrations(conc, model.nu)
+            )
+            report.outcomes.append(
+                RouteOutcome(
+                    label=label,
+                    eigenvalue=float(res.eigenvalue),
+                    class_concentrations=gamma,
+                    iterations=int(getattr(res, "iterations", 0)),
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the harness
+            report.outcomes.append(
+                RouteOutcome(
+                    label=label,
+                    eigenvalue=float("nan"),
+                    class_concentrations=np.array([]),
+                    iterations=0,
+                    ok=False,
+                    error=str(exc),
+                )
+            )
+
+    good = [o for o in report.outcomes if o.ok]
+    if len(good) < 2:
+        raise ValidationError("fewer than two solver routes succeeded; nothing to compare")
+    eigs = [o.eigenvalue for o in good]
+    report.max_eigenvalue_spread = float(max(eigs) - min(eigs))
+    stacks = np.stack([o.class_concentrations for o in good])
+    report.max_concentration_spread = float(
+        (stacks.max(axis=0) - stacks.min(axis=0)).max()
+    )
+    report.consistent = (
+        report.max_eigenvalue_spread <= accept
+        and report.max_concentration_spread <= accept
+        and all(o.ok for o in report.outcomes)
+    )
+    return report

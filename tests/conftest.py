@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Pins a deterministic Hypothesis profile: derandomized (examples derive
+from the test name, so runs are reproducible in CI and offline
+environments) and without deadlines (several property tests drive
+NumPy-heavy solver code whose first call pays warm-up costs).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

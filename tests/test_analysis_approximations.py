@@ -1,0 +1,86 @@
+"""Tests: classic first-order theory vs the exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.approximations import (
+    classic_threshold,
+    master_fidelity,
+    no_backmutation_growth,
+    no_backmutation_master_frequency,
+)
+from repro.exceptions import ValidationError
+from repro.landscapes import SinglePeakLandscape
+from repro.solvers import ReducedSolver
+
+
+class TestFormulas:
+    def test_fidelity(self):
+        assert master_fidelity(10, 0.01) == pytest.approx(0.99**10)
+        assert master_fidelity(5, 0.0) == 1.0
+
+    def test_threshold_forms_agree_for_small_rates(self):
+        exact = classic_threshold(50, 2.0)
+        first = classic_threshold(50, 2.0, first_order=True)
+        assert exact == pytest.approx(first, rel=0.01)
+
+    def test_threshold_monotonicity(self):
+        assert classic_threshold(20, 4.0) > classic_threshold(20, 2.0)
+        assert classic_threshold(40, 2.0) < classic_threshold(20, 2.0)
+
+    def test_superiority_validation(self):
+        with pytest.raises(ValidationError):
+            classic_threshold(10, 1.0)
+        with pytest.raises(ValidationError):
+            no_backmutation_master_frequency(10, 0.01, 0.5)
+
+    def test_frequency_clipped_above_threshold(self):
+        nu, sigma = 20, 2.0
+        p_above = classic_threshold(nu, sigma) * 1.5
+        assert no_backmutation_master_frequency(nu, p_above, sigma) == 0.0
+
+
+class TestAgainstExactSolver:
+    @pytest.mark.parametrize("nu,sigma", [(20, 2.0), (30, 4.0)])
+    def test_master_frequency_accurate_deep_in_ordered_phase(self, nu, sigma):
+        ls = SinglePeakLandscape(nu, sigma, 1.0)
+        p = classic_threshold(nu, sigma) * 0.3  # deep below threshold
+        exact = ReducedSolver(nu, p, ls).solve().concentrations[0]
+        approx = no_backmutation_master_frequency(nu, p, sigma)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_master_frequency_fails_near_threshold(self):
+        """The exact machinery quantifies where first-order theory
+        breaks: within ~10 % of p_max the relative error blows up."""
+        nu, sigma = 20, 2.0
+        ls = SinglePeakLandscape(nu, sigma, 1.0)
+        p = classic_threshold(nu, sigma) * 0.97
+        exact = ReducedSolver(nu, p, ls).solve().concentrations[0]
+        approx = no_backmutation_master_frequency(nu, p, sigma)
+        assert abs(approx - exact) / exact > 0.25
+
+    def test_growth_approximation_below_threshold(self):
+        nu, sigma = 16, 3.0
+        ls = SinglePeakLandscape(nu, sigma, 1.0)
+        p = classic_threshold(nu, sigma) * 0.4
+        exact = ReducedSolver(nu, p, ls).solve().eigenvalue
+        approx = no_backmutation_growth(ls, p)
+        assert approx == pytest.approx(exact, rel=0.03)
+
+    def test_classic_threshold_brackets_detected_threshold(self):
+        """The analytic p_max and the bisection-detected one agree to
+        within the finite-size smearing."""
+        from repro.model.antiviral import find_threshold
+
+        nu, sigma = 16, 2.0
+        detected = find_threshold(SinglePeakLandscape(nu, sigma, 1.0), tol_p=1e-3)
+        analytic = classic_threshold(nu, sigma)
+        assert detected == pytest.approx(analytic, rel=0.25)
+
+    def test_growth_floor_above_threshold(self):
+        nu, sigma = 16, 2.0
+        ls = SinglePeakLandscape(nu, sigma, 1.0)
+        p = classic_threshold(nu, sigma) * 2.0
+        assert no_backmutation_growth(ls, p) == ls.f_rest
+        exact = ReducedSolver(nu, p, ls).solve().eigenvalue
+        assert exact == pytest.approx(ls.f_rest, rel=0.05)

@@ -1,0 +1,134 @@
+"""Tests for multi-resolution concentration queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resolution import (
+    kron_site_marginal,
+    prefix_concentrations,
+    site_marginal,
+)
+from repro.exceptions import ValidationError
+from repro.landscapes import KroneckerLandscape
+from repro.mutation import UniformMutation
+from repro.solvers import KroneckerSolver
+
+
+class TestSiteMarginal:
+    def test_single_site(self):
+        x = np.zeros(8)
+        x[0b101] = 0.7
+        x[0b010] = 0.3
+        np.testing.assert_allclose(site_marginal(x, 3, [0]), [0.3, 0.7])
+        np.testing.assert_allclose(site_marginal(x, 3, [1]), [0.7, 0.3])
+
+    def test_two_sites_ordering(self):
+        """sites[0] is the least significant output bit."""
+        x = np.zeros(8)
+        x[0b110] = 1.0  # site2=1, site1=1, site0=0
+        out = site_marginal(x, 3, [0, 2])
+        # output config: bit0 = site0 = 0; bit1 = site2 = 1 -> index 2
+        np.testing.assert_allclose(out, [0, 0, 1, 0])
+
+    def test_mass_preserved(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(64)
+        out = site_marginal(x, 6, [1, 3, 5])
+        assert out.sum() == pytest.approx(x.sum())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8), st.data())
+    def test_marginal_consistency(self, nu, data):
+        """Marginalizing the marginal equals marginalizing directly."""
+        sites = data.draw(
+            st.lists(st.integers(0, nu - 1), min_size=2, max_size=min(4, nu), unique=True)
+        )
+        x = np.random.default_rng(0).random(1 << nu)
+        joint = site_marginal(x, nu, sites)
+        # The first site's marginal from the joint table:
+        direct = site_marginal(x, nu, [sites[0]])
+        k = len(sites)
+        idx = np.arange(1 << k)
+        from_joint = np.bincount(idx & 1, weights=joint, minlength=2)
+        np.testing.assert_allclose(from_joint, direct, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            site_marginal(np.ones(8), 3, [])
+        with pytest.raises(ValidationError):
+            site_marginal(np.ones(8), 3, [0, 0])
+        with pytest.raises(ValidationError):
+            site_marginal(np.ones(8), 3, [3])
+
+
+class TestPrefixConcentrations:
+    def test_level_zero_is_total(self):
+        x = np.random.default_rng(1).random(32)
+        np.testing.assert_allclose(prefix_concentrations(x, 5, 0), [x.sum()])
+
+    def test_level_nu_is_identity(self):
+        x = np.random.default_rng(2).random(16)
+        np.testing.assert_allclose(prefix_concentrations(x, 4, 4), x)
+
+    def test_levels_nest(self):
+        """Level ℓ is the pairwise sum of level ℓ+1 — a proper tree."""
+        x = np.random.default_rng(3).random(64)
+        for level in range(6):
+            coarse = prefix_concentrations(x, 6, level)
+            fine = prefix_concentrations(x, 6, level + 1)
+            np.testing.assert_allclose(coarse, fine.reshape(-1, 2).sum(axis=1))
+
+    def test_level_validation(self):
+        with pytest.raises(ValidationError):
+            prefix_concentrations(np.ones(8), 3, 4)
+
+
+class TestKronSiteMarginal:
+    @pytest.fixture
+    def solved(self):
+        rng = np.random.default_rng(5)
+        kl = KroneckerLandscape([rng.random(8) + 0.5, rng.random(4) + 0.5])  # nu = 5
+        mut = UniformMutation(kl.nu, 0.03)
+        res = KroneckerSolver(mut, kl).solve()
+        return kl, res
+
+    def test_matches_explicit_marginal(self, solved):
+        kl, res = solved
+        full = res.eigenvector.materialize()
+        for sites in ([0], [4], [0, 3], [1, 2, 4], [2, 0]):
+            implicit = kron_site_marginal(res.eigenvector, sites)
+            explicit = site_marginal(full, kl.nu, sites)
+            np.testing.assert_allclose(implicit, explicit, atol=1e-12, err_msg=str(sites))
+
+    def test_cross_group_independence(self, solved):
+        """Sites in different groups: joint = product of singles."""
+        kl, res = solved
+        # group 0 covers bits 2..4, group 1 bits 0..1
+        a = kron_site_marginal(res.eigenvector, [4])
+        b = kron_site_marginal(res.eigenvector, [0])
+        joint = kron_site_marginal(res.eigenvector, [4, 0])
+        outer = np.array(
+            [a[0] * b[0], a[1] * b[0], a[0] * b[1], a[1] * b[1]]
+        )
+        np.testing.assert_allclose(joint, outer, atol=1e-12)
+
+    def test_huge_chain_query(self):
+        """Resolution queries on a ν = 60 model — far beyond any full
+        vector — run instantly."""
+        rng = np.random.default_rng(7)
+        kl = KroneckerLandscape([rng.random(1 << 6) + 0.5 for _ in range(10)])
+        assert kl.nu == 60
+        res = KroneckerSolver(UniformMutation(60, 0.005), kl).solve()
+        marg = kron_site_marginal(res.eigenvector, [0, 30, 59])
+        assert marg.shape == (8,)
+        assert marg.sum() == pytest.approx(1.0)
+        assert np.all(marg >= 0)
+
+    def test_validation(self, solved):
+        _, res = solved
+        with pytest.raises(ValidationError):
+            kron_site_marginal(res.eigenvector, [])
+        with pytest.raises(ValidationError):
+            kron_site_marginal(res.eigenvector, [9])

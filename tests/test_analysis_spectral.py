@@ -1,0 +1,130 @@
+"""Tests for spectral-gap analysis (deflation, rates, predictions)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    deflated_second_eigenpair,
+    estimate_rate_from_history,
+    predicted_iterations,
+    spectral_gap,
+)
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape, SinglePeakLandscape
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp, dense_w
+from repro.solvers import PowerIteration, dense_solve
+from repro.solvers.result import IterationRecord
+
+
+@pytest.fixture
+def symmetric_problem():
+    nu, p = 7, 0.02
+    mut = UniformMutation(nu, p)
+    ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=12)
+    op = Fmmp(mut, ls, form="symmetric")
+    w = dense_w(mut, ls, "symmetric")
+    evals = np.sort(np.linalg.eigvalsh(w))
+    vecs = np.linalg.eigh(w)[1]
+    return op, evals, vecs
+
+
+class TestDeflation:
+    def test_finds_second_eigenvalue(self, symmetric_problem):
+        op, evals, vecs = symmetric_problem
+        lam1, x1 = deflated_second_eigenpair(op, evals[-1], vecs[:, -1], tol=1e-10)
+        assert lam1 == pytest.approx(evals[-2], abs=1e-8)
+        # x1 orthogonal to the dominant eigenvector.
+        assert abs(vecs[:, -1] @ x1) < 1e-6
+
+    def test_eigenpair_residual(self, symmetric_problem):
+        op, evals, vecs = symmetric_problem
+        lam1, x1 = deflated_second_eigenpair(op, evals[-1], vecs[:, -1], tol=1e-10)
+        assert np.linalg.norm(op.matvec(x1) - lam1 * x1) < 1e-8
+
+    def test_rejects_nonsymmetric(self):
+        nu, p = 5, 0.05
+        mut = UniformMutation(nu, p)
+        ls = RandomLandscape(nu, seed=0)
+        op = Fmmp(mut, ls, form="right")
+        with pytest.raises(ValidationError):
+            deflated_second_eigenpair(op, 1.0, np.ones(32))
+
+    def test_rejects_zero_vector(self, symmetric_problem):
+        op, evals, _ = symmetric_problem
+        with pytest.raises(ValidationError):
+            deflated_second_eigenpair(op, evals[-1], np.zeros(op.n))
+
+
+class TestSpectralGap:
+    def test_matches_dense_ratio(self, symmetric_problem):
+        op, evals, vecs = symmetric_problem
+        gap = spectral_gap(op, evals[-1], vecs[:, -1])
+        assert gap == pytest.approx(evals[-2] / evals[-1], abs=1e-7)
+        assert 0.0 < gap < 1.0
+
+    def test_gap_closes_toward_threshold(self):
+        """λ₁/λ₀ rises toward 1 as p approaches the error threshold —
+        the spectral signature of the Fig. 1 collapse."""
+        nu = 8
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        gaps = []
+        for p in (0.01, 0.04, 0.08):
+            mut = UniformMutation(nu, p)
+            op = Fmmp(mut, ls, form="symmetric")
+            ref = dense_solve(mut, ls, form="symmetric")
+            gaps.append(spectral_gap(op, ref.eigenvalue, ref.eigenvector))
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestRateEstimation:
+    def test_recovers_geometric_rate(self):
+        rate = 0.8
+        history = [
+            IterationRecord(i, 2.0, 1e-2 * rate**i) for i in range(1, 30)
+        ]
+        est = estimate_rate_from_history(history)
+        assert est == pytest.approx(rate, rel=1e-6)
+
+    def test_matches_spectral_gap_on_real_run(self, symmetric_problem):
+        op, evals, _ = symmetric_problem
+        res = PowerIteration(op, tol=1e-12, record_history=True).solve(
+            np.ones(op.n) / op.n
+        )
+        est = estimate_rate_from_history(res.history)
+        assert est == pytest.approx(evals[-2] / evals[-1], rel=0.05)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValidationError):
+            estimate_rate_from_history([IterationRecord(1, 1.0, 0.5)])
+
+
+class TestPredictedIterations:
+    def test_formula(self):
+        # 0.5^k from 1.0 to below 1e-6: k = 20.
+        assert predicted_iterations(0.5, start_residual=1.0, tol=1e-6) == 20
+
+    def test_already_converged(self):
+        assert predicted_iterations(0.9, start_residual=1e-12, tol=1e-6) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            predicted_iterations(1.5, start_residual=1.0, tol=0.1)
+        with pytest.raises(ValidationError):
+            predicted_iterations(0.5, start_residual=-1.0, tol=0.1)
+
+    def test_end_to_end_prediction_is_accurate(self, symmetric_problem):
+        """Predicted iteration counts from the measured asymptotic rate
+        match the real solver when started past the transient (early
+        iterations mix several eigencomponents and decay slower)."""
+        op, *_ = symmetric_problem
+        res = PowerIteration(op, tol=1e-11, record_history=True).solve(
+            np.ones(op.n) / op.n
+        )
+        rate = estimate_rate_from_history(res.history)
+        anchor = len(res.history) // 2
+        remaining_pred = predicted_iterations(
+            rate, start_residual=res.history[anchor - 1].residual, tol=1e-11
+        )
+        actual_remaining = res.iterations - anchor + 1
+        assert remaining_pred == pytest.approx(actual_remaining, abs=max(2, 0.2 * actual_remaining))

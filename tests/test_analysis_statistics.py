@@ -1,0 +1,118 @@
+"""Tests for quasispecies population statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    cloud_entropy,
+    consensus_sequence,
+    master_localization,
+    summarize,
+)
+from repro.exceptions import ValidationError
+from repro.landscapes import SinglePeakLandscape
+from repro.mutation import UniformMutation
+from repro.solvers import dense_solve
+
+
+class TestConsensus:
+    def test_single_sequence(self):
+        x = np.zeros(16)
+        x[0b1010] = 1.0
+        assert consensus_sequence(x, 4) == 0b1010
+
+    def test_majority_without_dominant_sequence(self):
+        """Three sequences sharing bit 0: consensus has bit 0 even though
+        no single sequence dominates."""
+        x = np.zeros(8)
+        x[0b001] = 0.3
+        x[0b011] = 0.3
+        x[0b101] = 0.3
+        x[0b110] = 0.1
+        assert consensus_sequence(x, 3) & 1 == 1
+
+    def test_quasispecies_consensus_is_master(self):
+        nu, p = 8, 0.02
+        res = dense_solve(UniformMutation(nu, p), SinglePeakLandscape(nu, 2.0, 1.0))
+        assert consensus_sequence(res.concentrations, nu) == 0
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValidationError):
+            consensus_sequence(np.zeros(4), 2)
+
+
+class TestEntropy:
+    def test_point_mass_zero(self):
+        x = np.zeros(8)
+        x[3] = 1.0
+        assert cloud_entropy(x) == 0.0
+
+    def test_uniform_is_log2_n(self):
+        assert cloud_entropy(np.full(64, 1 / 64)) == pytest.approx(6.0)
+
+    def test_normalized_range(self):
+        assert cloud_entropy(np.full(32, 1.0), normalized=True) == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 8), st.integers(0, 10_000))
+    def test_bounds_property(self, nu, seed):
+        x = np.random.default_rng(seed).random(1 << nu) + 1e-12
+        h = cloud_entropy(x)
+        assert -1e-9 <= h <= nu + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            cloud_entropy(np.array([-0.1, 1.1]))
+        with pytest.raises(ValidationError):
+            cloud_entropy(np.zeros(4))
+
+
+class TestLocalization:
+    def test_point_mass(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        assert master_localization(x, 4, radius=0) == 1.0
+
+    def test_radius_grows_mass(self):
+        nu, p = 7, 0.03
+        res = dense_solve(UniformMutation(nu, p), SinglePeakLandscape(nu, 2.0, 1.0))
+        vals = [master_localization(res.concentrations, nu, radius=r) for r in range(nu + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+        assert vals[-1] == pytest.approx(1.0)
+
+    def test_radius_validation(self):
+        with pytest.raises(ValidationError):
+            master_localization(np.ones(4), 2, radius=3)
+
+
+class TestSummary:
+    def test_ordered_phase(self):
+        nu, p = 8, 0.01
+        res = dense_solve(UniformMutation(nu, p), SinglePeakLandscape(nu, 2.0, 1.0))
+        s = summarize(res.concentrations, nu)
+        assert s.is_ordered
+        assert s.consensus == 0
+        assert s.dominant_index == 0
+        assert s.dominant_concentration > 0.3
+        assert s.localization_radius1 > 0.5
+        np.testing.assert_allclose(s.class_concentrations.sum(), 1.0)
+
+    def test_disordered_phase(self):
+        nu, p = 8, 0.45  # deep in the random-replication regime
+        res = dense_solve(UniformMutation(nu, p), SinglePeakLandscape(nu, 2.0, 1.0))
+        s = summarize(res.concentrations, nu)
+        assert not s.is_ordered
+        assert s.entropy_normalized > 0.95
+        assert s.participation_ratio > 0.9 * (1 << nu)
+
+    def test_phase_transition_visible_in_entropy(self):
+        """Entropy jumps across the threshold — a scalar view of Fig. 1."""
+        nu = 8
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        ents = []
+        for p in (0.01, 0.2):
+            res = dense_solve(UniformMutation(nu, p), ls)
+            ents.append(summarize(res.concentrations, nu).entropy_normalized)
+        assert ents[1] > ents[0] + 0.3

@@ -1,0 +1,108 @@
+"""Tests for Walsh-spectral analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.walsh import (
+    effective_order,
+    epistasis_order,
+    shell_energies,
+    walsh_spectrum,
+)
+from repro.exceptions import ValidationError
+from repro.landscapes import (
+    AdditiveLandscape,
+    NKLandscape,
+    SinglePeakLandscape,
+    TabulatedLandscape,
+)
+
+
+class TestSpectrum:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 9), st.integers(0, 10_000))
+    def test_parseval(self, nu, seed):
+        x = np.random.default_rng(seed).standard_normal(1 << nu)
+        spec = walsh_spectrum(x, nu)
+        assert np.linalg.norm(spec) == pytest.approx(np.linalg.norm(x), rel=1e-10)
+
+    def test_constant_vector_is_shell_zero(self):
+        e = shell_energies(np.full(32, 3.0), 5)
+        np.testing.assert_allclose(e, [1, 0, 0, 0, 0, 0], atol=1e-14)
+
+    def test_energies_sum_to_one(self):
+        x = np.random.default_rng(1).random(64)
+        assert shell_energies(x, 6).sum() == pytest.approx(1.0)
+
+    def test_unnormalized_total_is_squared_norm(self):
+        x = np.random.default_rng(2).standard_normal(32)
+        e = shell_energies(x, 5, normalized=False)
+        assert e.sum() == pytest.approx(float(x @ x), rel=1e-10)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            shell_energies(np.zeros(8), 3)
+
+
+class TestEpistasisOrder:
+    def test_constant(self):
+        assert epistasis_order(np.full(16, 2.0), 4) == 0
+
+    def test_additive_is_order_one(self):
+        ls = AdditiveLandscape(3.0, [0.2, 0.4, 0.1, 0.3])
+        assert epistasis_order(ls.values(), 4) == 1
+
+    def test_single_peak_is_full_order(self):
+        """A delta function has energy in every shell."""
+        ls = SinglePeakLandscape(5, 2.0, 1.0)
+        assert epistasis_order(ls.values(), 5) == 5
+
+    def test_nk_order_bounded_by_k_plus_one(self):
+        """NK contributions couple K+1 sites, so the Walsh support sits
+        in shells <= K+1."""
+        for k in (0, 1, 2, 3):
+            ls = NKLandscape(7, k, seed=4)
+            assert epistasis_order(ls.values(), 7, threshold=1e-10) <= k + 1
+
+    def test_pairwise_product_landscape(self):
+        """f = 2 + x₀·x₁ (in ±1 coding) is pure order-2 epistasis."""
+        idx = np.arange(16)
+        signs = (1 - 2 * ((idx >> 0) & 1)) * (1 - 2 * ((idx >> 1) & 1))
+        f = 2.0 + 0.5 * signs
+        assert epistasis_order(f, 4) == 2
+
+
+class TestEffectiveOrder:
+    def test_bounds(self):
+        x = np.random.default_rng(0).random(64)
+        k = effective_order(x, 6, mass=0.9)
+        assert 0 <= k <= 6
+
+    def test_full_mass_needs_all_shells_for_delta(self):
+        x = np.zeros(32)
+        x[7] = 1.0
+        assert effective_order(x, 5, mass=1.0) == 5
+
+    def test_delocalized_phase_compresses(self):
+        """Walsh energy concentrates in low shells for near-uniform
+        distributions (above threshold) and spreads wide for localized
+        ones — so the TruncatedWalsh compression pays off exactly in
+        the high-error regime, and the effective order is a phase
+        diagnostic."""
+        from repro.mutation import UniformMutation
+        from repro.solvers import dense_solve
+
+        nu = 8
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        ordered = dense_solve(UniformMutation(nu, 0.01), ls)
+        delocalized = dense_solve(UniformMutation(nu, 0.3), ls)
+        k_ordered = effective_order(ordered.concentrations, nu, mass=0.99)
+        k_deloc = effective_order(delocalized.concentrations, nu, mass=0.99)
+        assert k_deloc <= 1
+        assert k_ordered >= nu // 2
+
+    def test_mass_validation(self):
+        with pytest.raises(ValidationError):
+            effective_order(np.ones(8), 3, mass=0.0)

@@ -1,0 +1,107 @@
+"""Unit and property tests for error classes and XOR masks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitops.classes import (
+    error_class_indices,
+    error_class_labels,
+    error_class_representatives,
+    error_class_sizes,
+    masks_by_popcount,
+    masks_up_to_distance,
+)
+from repro.bitops.popcount import hamming_distance, popcount
+from repro.exceptions import ValidationError
+
+
+class TestErrorClassIndices:
+    def test_master_class_zero(self):
+        np.testing.assert_array_equal(error_class_indices(4, 0), [0])
+
+    def test_class_one_is_single_bits(self):
+        np.testing.assert_array_equal(error_class_indices(4, 1), [1, 2, 4, 8])
+
+    def test_sizes_match_binomials(self):
+        nu = 7
+        for k in range(nu + 1):
+            assert len(error_class_indices(nu, k)) == math.comb(nu, k)
+
+    def test_classes_partition_space(self):
+        nu = 6
+        all_idx = np.concatenate([error_class_indices(nu, k) for k in range(nu + 1)])
+        assert sorted(all_idx) == list(range(1 << nu))
+
+    def test_centered_class_is_xor_translate(self):
+        nu, k, center = 5, 2, 0b10110
+        cls = error_class_indices(nu, k, center)
+        np.testing.assert_array_equal(
+            np.sort(hamming_distance(cls, np.full(len(cls), center))), k
+        )
+        assert len(cls) == math.comb(nu, k)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            error_class_indices(4, 5)
+
+    def test_invalid_center(self):
+        with pytest.raises(ValidationError):
+            error_class_indices(4, 1, 16)
+
+
+class TestLabelsSizesRepresentatives:
+    def test_labels_match_popcount(self):
+        nu = 8
+        np.testing.assert_array_equal(
+            error_class_labels(nu), popcount(np.arange(1 << nu))
+        )
+
+    def test_sizes(self):
+        np.testing.assert_array_equal(error_class_sizes(4), [1, 4, 6, 4, 1])
+
+    def test_representatives_have_right_distance(self):
+        nu = 10
+        reps = error_class_representatives(nu)
+        assert len(reps) == nu + 1
+        for k, r in enumerate(reps):
+            assert popcount(int(r)) == k
+
+
+class TestMasks:
+    def test_popcount_zero(self):
+        np.testing.assert_array_equal(masks_by_popcount(5, 0), [0])
+
+    def test_popcount_one_is_powers_of_two(self):
+        np.testing.assert_array_equal(masks_by_popcount(5, 1), [1, 2, 4, 8, 16])
+
+    def test_full_popcount(self):
+        np.testing.assert_array_equal(masks_by_popcount(5, 5), [31])
+
+    def test_counts_and_increasing(self):
+        nu = 8
+        for k in range(nu + 1):
+            m = masks_by_popcount(nu, k)
+            assert len(m) == math.comb(nu, k)
+            assert np.all(np.diff(m) > 0), "Gosper enumeration must be increasing"
+            np.testing.assert_array_equal(popcount(m), k)
+
+    @given(st.integers(1, 12), st.data())
+    def test_masks_property(self, nu, data):
+        k = data.draw(st.integers(0, nu))
+        m = masks_by_popcount(nu, k)
+        assert len(set(int(x) for x in m)) == math.comb(nu, k)
+        assert all(0 <= int(x) < (1 << nu) for x in m)
+
+    def test_up_to_distance(self):
+        groups = masks_up_to_distance(6, 3)
+        assert len(groups) == 4
+        total = sum(len(g) for g in groups)
+        assert total == sum(math.comb(6, k) for k in range(4))
+
+    def test_up_to_distance_invalid(self):
+        with pytest.raises(ValidationError):
+            masks_up_to_distance(4, 5)

@@ -1,0 +1,53 @@
+"""Unit tests for Gray-code reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitops.graycode import gray_code, gray_permutation, inverse_permutation
+from repro.bitops.popcount import hamming_distance
+from repro.exceptions import ValidationError
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 2**20))
+    def test_consecutive_codes_distance_one(self, i):
+        assert hamming_distance(gray_code(i), gray_code(i + 1)) == 1
+
+    def test_rejects_float_array(self):
+        with pytest.raises(ValidationError):
+            gray_code(np.array([0.5]))
+
+
+class TestGrayPermutation:
+    def test_is_permutation(self):
+        p = gray_permutation(6)
+        assert sorted(p) == list(range(64))
+
+    def test_footnote2_property(self):
+        """Paper footnote 2: under the Gray reordering, consecutive
+        sequences have Hamming distance one, so the first off-diagonals
+        of Q are constant."""
+        p = gray_permutation(5)
+        d = hamming_distance(p[:-1], p[1:])
+        np.testing.assert_array_equal(d, 1)
+
+
+class TestInversePermutation:
+    def test_roundtrip(self):
+        p = gray_permutation(7)
+        inv = inverse_permutation(p)
+        np.testing.assert_array_equal(inv[p], np.arange(128))
+        np.testing.assert_array_equal(p[inv], np.arange(128))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValidationError):
+            inverse_permutation(np.array([0, 0, 2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            inverse_permutation(np.zeros((2, 2), dtype=int))

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.landscape == "single-peak" and args.nu == 12
+
+
+class TestSolveCommand:
+    def test_single_peak(self, capsys):
+        assert main(["solve", "--nu", "10", "--p", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda_0" in out
+        assert "Reduced" in out  # auto picks the exact reduction
+
+    def test_random_landscape_power(self, capsys):
+        assert main(["solve", "--landscape", "random", "--nu", "8", "--p", "0.02",
+                     "--method", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "Pi(" in out
+
+    def test_save_result(self, capsys, tmp_path):
+        path = str(tmp_path / "out.npz")
+        assert main(["solve", "--nu", "8", "--save", path]) == 0
+        from repro.io import load_result
+
+        res = load_result(path)
+        assert res.converged
+
+    def test_reduced_on_random_fails_cleanly(self, capsys):
+        code = main(["solve", "--landscape", "random", "--nu", "8", "--method", "reduced"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_threshold_reported(self, capsys):
+        assert main(["sweep", "--nu", "14", "--p-min", "0.005", "--p-max", "0.12",
+                     "--steps", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "p_max" in out
+
+    def test_linear_no_threshold(self, capsys):
+        assert main(["sweep", "--landscape", "linear", "--nu", "12",
+                     "--steps", "10"]) == 0
+        assert "no error threshold" in capsys.readouterr().out
+
+    def test_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        assert main(["sweep", "--nu", "10", "--steps", "6", "--csv", str(path)]) == 0
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("p,G0,")
+
+    def test_save_npz(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.npz")
+        assert main(["sweep", "--nu", "10", "--steps", "6", "--save", path]) == 0
+        from repro.io import load_sweep
+
+        assert load_sweep(path).nu == 10
+
+    def test_bad_steps(self, capsys):
+        assert main(["sweep", "--steps", "1"]) == 2
+
+
+class TestThresholdCommand:
+    def test_single_peak_margin(self, capsys):
+        assert main(["threshold", "--nu", "12", "--p", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "p_max" in out and "mutagenic margin" in out
+
+    def test_linear_no_threshold(self, capsys):
+        assert main(["threshold", "--landscape", "linear", "--nu", "12"]) == 0
+        assert "no sharp error threshold" in capsys.readouterr().out
+
+    def test_already_delocalized(self, capsys):
+        assert main(["threshold", "--nu", "12", "--p", "0.2"]) == 0
+        assert "past the threshold" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_runs_and_compares_with_deterministic(self, capsys):
+        assert main(["simulate", "--nu", "8", "--p", "0.02",
+                     "--population", "1000", "--generations", "60",
+                     "--burn-in", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "mean fitness" in out
+        assert "deterministic" in out
+
+    def test_bad_population(self, capsys):
+        assert main(["simulate", "--population", "0"]) == 2
+
+
+class TestInfoCommand:
+    def test_prints_capabilities(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Fmmp" in out and "landscapes" in out

@@ -1,0 +1,107 @@
+"""Tests for the radix-4 group kernel and grouped-model device pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import Device, DevicePowerIteration, TESLA_C2050
+from repro.device.kernels.group_kernel import make_group4_stage_kernel
+from repro.exceptions import DeviceError, ValidationError
+from repro.landscapes import TabulatedLandscape
+from repro.mutation import GroupedMutation, nucleotide_block, rna_mutation, site_factor
+from repro.solvers import dense_solve
+
+
+def random_block4(seed):
+    rng = np.random.default_rng(seed)
+    m = rng.random((4, 4))
+    return m / m.sum(axis=0, keepdims=True)
+
+
+class TestIndexFormula:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**18), st.integers(0, 12))
+    def test_radix4_index_identity(self, item_id, log_h):
+        h = 1 << log_h
+        lhs = 4 * item_id - 3 * (item_id & (h - 1))
+        rhs = 4 * h * (item_id // h) + item_id % h
+        assert lhs == rhs
+
+    def test_quadruples_cover_space(self):
+        n, span = 64, 4
+        touched = []
+        for item in range(n // 4):
+            j = 4 * item - 3 * (item & (span - 1))
+            touched.extend(j + k * span for k in range(4))
+        assert sorted(touched) == list(range(n))
+
+
+class TestGroup4Kernel:
+    def test_single_group_matches_dense(self):
+        block = random_block4(0)
+        kernel = make_group4_stage_kernel(block)
+        v = np.random.default_rng(1).random(4)
+        dev = Device(TESLA_C2050, validate=True)
+        dev.alloc("v", 4)
+        dev.to_device("v", v)
+        dev.launch(kernel, 1, {"span": 1})
+        np.testing.assert_allclose(dev.from_device("v"), block @ v, atol=1e-13)
+
+    def test_strided_group_matches_kron(self):
+        """Group on the two MSBs of a nu=4 space: span = 4."""
+        block = random_block4(2)
+        q = GroupedMutation([block, site_factor(0.0), site_factor(0.0)])
+        v = np.random.default_rng(3).random(16)
+        dev = Device(TESLA_C2050, validate=True)
+        dev.alloc("v", 16)
+        dev.to_device("v", v)
+        dev.launch(make_group4_stage_kernel(block), 4, {"span": 4})
+        np.testing.assert_allclose(dev.from_device("v"), q.dense() @ v, atol=1e-12)
+
+    def test_bad_block_shape(self):
+        with pytest.raises(DeviceError):
+            make_group4_stage_kernel(np.eye(2))
+
+    def test_bad_span(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("v", 8)
+        with pytest.raises(DeviceError):
+            dev.launch(make_group4_stage_kernel(np.eye(4)), 2, {"span": 3})
+
+
+class TestGroupedPipeline:
+    def test_rna_model_on_device(self):
+        q = rna_mutation(length=3, alpha=0.02, beta=0.005)
+        f = np.ones(q.n)
+        f[0] = 3.0
+        ls = TabulatedLandscape(f)
+        ref = dense_solve(q, ls)
+        dev = Device(TESLA_C2050, validate=True)
+        rep = DevicePowerIteration(dev, q, ls, tol=1e-12).run()
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_mixed_group_sizes(self):
+        """A 4x4 block plus two independent sites (sizes 2,1,1)."""
+        q = GroupedMutation([nucleotide_block(0.03, 0.01), site_factor(0.02), site_factor(0.05)])
+        rng = np.random.default_rng(4)
+        ls = TabulatedLandscape(rng.random(q.n) + 0.5)
+        ref = dense_solve(q, ls)
+        dev = Device(TESLA_C2050, validate=True)
+        rep = DevicePowerIteration(dev, q, ls, tol=1e-12).run()
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_oversized_group_rejected(self):
+        rng = np.random.default_rng(5)
+        big = rng.random((8, 8))
+        big /= big.sum(axis=0, keepdims=True)
+        q = GroupedMutation([big])
+        ls = TabulatedLandscape(np.ones(8))
+        with pytest.raises(ValidationError):
+            DevicePowerIteration(Device(TESLA_C2050), q, ls)
+
+    def test_grouped_xmvp_rejected(self):
+        q = GroupedMutation([nucleotide_block(0.01)])
+        ls = TabulatedLandscape(np.ones(4))
+        with pytest.raises(ValidationError):
+            DevicePowerIteration(Device(TESLA_C2050), q, ls, operator="xmvp")

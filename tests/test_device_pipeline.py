@@ -1,0 +1,165 @@
+"""Tests for the full on-device power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Device,
+    DevicePowerIteration,
+    INTEL_I5_750_SINGLE_CORE,
+    TESLA_C2050,
+)
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.landscapes import RandomLandscape
+from repro.mutation import PerSiteMutation, UniformMutation
+from repro.solvers import dense_solve
+
+
+@pytest.fixture
+def problem():
+    nu, p = 7, 0.01
+    mut = UniformMutation(nu, p)
+    ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=13)
+    return mut, ls, dense_solve(mut, ls)
+
+
+class TestNumericalFidelity:
+    def test_fmmp_pipeline_matches_dense(self, problem):
+        mut, ls, ref = problem
+        dev = Device(TESLA_C2050, validate=True)
+        rep = DevicePowerIteration(dev, mut, ls, operator="fmmp", tol=1e-13).run()
+        assert rep.result.converged
+        assert rep.result.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-10)
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_xmvp_full_pipeline_matches_dense(self, problem):
+        mut, ls, ref = problem
+        dev = Device(TESLA_C2050, validate=True)
+        rep = DevicePowerIteration(
+            dev, mut, ls, operator="xmvp", dmax=mut.nu, tol=1e-13
+        ).run()
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_device_and_host_solvers_identical(self, problem):
+        """The GPU pipeline and the host Pi(Fmmp) deliver the same result
+        — 'the reference computation and the fastest combination deliver
+        the same results' (paper, Sec. 4)."""
+        from repro.operators import Fmmp
+        from repro.solvers import PowerIteration
+
+        mut, ls, _ = problem
+        host = PowerIteration(Fmmp(mut, ls), tol=1e-13).solve(ls.start_vector())
+        dev = Device(TESLA_C2050)
+        rep = DevicePowerIteration(dev, mut, ls, operator="fmmp", tol=1e-13).run()
+        assert rep.result.iterations == host.iterations
+        np.testing.assert_allclose(
+            rep.result.concentrations, host.concentrations, atol=1e-12
+        )
+
+    def test_per_site_mutation_pipeline(self):
+        rates = [0.01, 0.02, 0.015, 0.03, 0.01, 0.02]
+        mut = PerSiteMutation.from_error_rates(rates)
+        ls = RandomLandscape(6, seed=3)
+        ref = dense_solve(mut, ls)
+        dev = Device(TESLA_C2050, validate=True)
+        rep = DevicePowerIteration(dev, mut, ls, tol=1e-13).run()
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_shifted_pipeline(self, problem):
+        from repro.operators.shifted import conservative_shift
+
+        mut, ls, ref = problem
+        mu = conservative_shift(mut, ls)
+        dev_plain = Device(TESLA_C2050)
+        plain = DevicePowerIteration(dev_plain, mut, ls, tol=1e-12).run()
+        dev_shift = Device(TESLA_C2050)
+        shifted = DevicePowerIteration(dev_shift, mut, ls, tol=1e-12, shift=mu).run()
+        assert shifted.result.iterations < plain.result.iterations
+        assert shifted.result.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-9)
+
+
+class TestModeledPerformance:
+    def test_gpu_faster_than_single_core_model(self):
+        """Same algorithm, different hardware ⇒ shifted (parallel) time
+        curves.  The GPU wins once the data volume outweighs its launch
+        overhead (at tiny ν the zero-overhead CPU is rightly faster —
+        also a real phenomenon)."""
+        nu = 14
+        mut = UniformMutation(nu, 0.01)
+        ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=13)
+        rep_gpu = DevicePowerIteration(Device(TESLA_C2050), mut, ls, tol=1e-12).run()
+        rep_cpu = DevicePowerIteration(
+            Device(INTEL_I5_750_SINGLE_CORE), mut, ls, tol=1e-12
+        ).run()
+        assert rep_gpu.modeled_kernel_s < rep_cpu.modeled_kernel_s
+
+    def test_xmvp_models_slower_than_fmmp(self, problem):
+        mut, ls, _ = problem
+        fmmp = DevicePowerIteration(Device(TESLA_C2050), mut, ls, operator="fmmp", tol=1e-12).run()
+        xmvp = DevicePowerIteration(
+            Device(TESLA_C2050), mut, ls, operator="xmvp", dmax=mut.nu, tol=1e-12
+        ).run()
+        assert fmmp.modeled_total_s < xmvp.modeled_total_s
+
+    def test_transfer_time_included(self, problem):
+        mut, ls, _ = problem
+        rep = DevicePowerIteration(Device(TESLA_C2050), mut, ls, tol=1e-12).run()
+        assert rep.modeled_transfer_s > 0.0
+        assert rep.modeled_total_s == pytest.approx(
+            rep.modeled_kernel_s + rep.modeled_transfer_s
+        )
+
+    def test_reduction_fraction_reported(self, problem):
+        mut, ls, _ = problem
+        rep = DevicePowerIteration(Device(TESLA_C2050), mut, ls, tol=1e-12).run()
+        assert 0.0 <= rep.reduction_fraction <= 1.0
+
+    def test_buffers_freed_after_run(self, problem):
+        from repro.exceptions import DeviceError
+
+        mut, ls, _ = problem
+        dev = Device(TESLA_C2050)
+        DevicePowerIteration(dev, mut, ls, tol=1e-12).run()
+        with pytest.raises(DeviceError):
+            dev.buffer("x")
+
+
+class TestValidationErrors:
+    def test_rejects_oversized_grouped_mutation(self):
+        """2-bit groups run through the radix-4 kernel; larger blocks
+        have no device kernel and must be rejected."""
+        from repro.mutation import GroupedMutation
+
+        rng = np.random.default_rng(0)
+        b = rng.random((8, 8))
+        b /= b.sum(axis=0, keepdims=True)
+        with pytest.raises(ValidationError):
+            DevicePowerIteration(
+                Device(TESLA_C2050), GroupedMutation([b]), RandomLandscape(3, seed=0)
+            )
+
+    def test_rejects_xmvp_with_persite(self):
+        mut = PerSiteMutation.from_error_rates([0.01, 0.02])
+        with pytest.raises(ValidationError):
+            DevicePowerIteration(
+                Device(TESLA_C2050), mut, RandomLandscape(2, seed=0), operator="xmvp"
+            )
+
+    def test_rejects_bad_operator(self, problem):
+        mut, ls, _ = problem
+        with pytest.raises(ValidationError):
+            DevicePowerIteration(Device(TESLA_C2050), mut, ls, operator="magic")
+
+    def test_max_iterations_exhausted(self, problem):
+        mut, ls, _ = problem
+        with pytest.raises(ConvergenceError):
+            DevicePowerIteration(
+                Device(TESLA_C2050), mut, ls, tol=1e-15, max_iterations=2
+            ).run()
+
+    def test_no_raise_mode(self, problem):
+        mut, ls, _ = problem
+        rep = DevicePowerIteration(
+            Device(TESLA_C2050), mut, ls, tol=1e-15, max_iterations=2
+        ).run(raise_on_fail=False)
+        assert not rep.result.converged

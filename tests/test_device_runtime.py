@@ -1,0 +1,198 @@
+"""Tests for the simulated device runtime: profiles, buffers, launches."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Device,
+    DeviceBuffer,
+    HardwareProfile,
+    INTEL_I5_750,
+    INTEL_I5_750_SINGLE_CORE,
+    TESLA_C2050,
+)
+from repro.device.kernel import Kernel, KernelCosts
+from repro.device.kernels import scale_kernel
+from repro.exceptions import DeviceError
+
+
+class TestHardwareProfile:
+    def test_roofline_bandwidth_bound(self):
+        prof = HardwareProfile("t", mem_bandwidth_gbs=100.0, peak_gflops=1000.0)
+        # 1 GB of traffic, trivial flops: bandwidth-bound at 10 ms.
+        assert prof.kernel_time(1e9, 1.0) == pytest.approx(0.01)
+
+    def test_roofline_compute_bound(self):
+        prof = HardwareProfile("t", mem_bandwidth_gbs=1000.0, peak_gflops=10.0)
+        assert prof.kernel_time(8.0, 1e9) == pytest.approx(0.1)
+
+    def test_launch_overhead_added(self):
+        prof = HardwareProfile(
+            "t", mem_bandwidth_gbs=100.0, peak_gflops=100.0, launch_overhead_s=1e-3
+        )
+        assert prof.kernel_time(0.0, 0.0) == pytest.approx(1e-3)
+
+    def test_transfer_time_zero_for_host_memory(self):
+        assert INTEL_I5_750.transfer_time(1e9) == 0.0
+
+    def test_transfer_time_pcie(self):
+        t = TESLA_C2050.transfer_time(6e9)
+        assert t == pytest.approx(1.0)
+
+    def test_presets_sensible(self):
+        assert TESLA_C2050.mem_bandwidth_gbs > INTEL_I5_750.mem_bandwidth_gbs
+        assert INTEL_I5_750.peak_gflops > INTEL_I5_750_SINGLE_CORE.peak_gflops
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            HardwareProfile("bad", mem_bandwidth_gbs=-1.0, peak_gflops=1.0)
+        with pytest.raises(Exception):
+            HardwareProfile("bad", mem_bandwidth_gbs=1.0, peak_gflops=1.0, efficiency=0.0)
+
+
+class TestDeviceBuffer:
+    def test_roundtrip(self):
+        buf = DeviceBuffer("x", 4)
+        buf.write(np.arange(4))
+        np.testing.assert_array_equal(buf.read(), [0, 1, 2, 3])
+
+    def test_wrong_size_write(self):
+        with pytest.raises(DeviceError):
+            DeviceBuffer("x", 4).write(np.zeros(5))
+
+    def test_released_buffer_unusable(self):
+        buf = DeviceBuffer("x", 4)
+        buf.release()
+        with pytest.raises(DeviceError):
+            buf.read()
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceBuffer("x", 0)
+
+
+class TestDeviceLifecycle:
+    def test_alloc_free(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("x", 8)
+        assert dev.buffer("x").size == 8
+        dev.free("x")
+        with pytest.raises(DeviceError):
+            dev.buffer("x")
+
+    def test_double_alloc_rejected(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("x", 8)
+        with pytest.raises(DeviceError):
+            dev.alloc("x", 8)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(DeviceError):
+            Device(TESLA_C2050).free("nope")
+
+
+class TestTransfersAccounting:
+    def test_to_from_device_accounts_bytes_and_time(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("x", 1024)
+        dev.to_device("x", np.ones(1024))
+        out = dev.from_device("x")
+        np.testing.assert_array_equal(out, 1.0)
+        acct = dev.accounting
+        assert acct.bytes_transferred == 2 * 1024 * 8
+        assert acct.transfer_time_s == pytest.approx(2 * 1024 * 8 / 6e9)
+
+    def test_read_scalar(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("x", 4)
+        dev.to_device("x", np.array([7.0, 1.0, 2.0, 3.0]))
+        before = dev.accounting.bytes_transferred
+        assert dev.read_scalar("x", 0) == 7.0
+        assert dev.accounting.bytes_transferred == before + 8.0
+
+    def test_cpu_profile_transfers_free(self):
+        dev = Device(INTEL_I5_750)
+        dev.alloc("x", 128)
+        dev.to_device("x", np.zeros(128))
+        assert dev.accounting.transfer_time_s == 0.0
+
+
+class TestLaunch:
+    def test_scale_kernel_executes(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("v", 8)
+        dev.to_device("v", np.arange(8))
+        dev.launch(scale_kernel, 8, {"alpha": 2.0})
+        np.testing.assert_array_equal(dev.from_device("v"), 2.0 * np.arange(8))
+
+    def test_accounting_matches_cost_spec(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("v", 16)
+        dev.launch(scale_kernel, 16, {"alpha": 1.0})
+        acct = dev.accounting
+        assert acct.launches == 1
+        assert acct.bytes_moved == 16 * scale_kernel.costs.bytes_per_item
+        assert acct.flops == 16 * scale_kernel.costs.flops_per_item
+
+    def test_binding_remaps_buffers(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("other", 4)
+        dev.to_device("other", np.ones(4))
+        dev.launch(scale_kernel, 4, {"alpha": 3.0}, binding={"v": "other"})
+        np.testing.assert_array_equal(dev.from_device("other"), 3.0)
+
+    def test_missing_buffer_rejected(self):
+        dev = Device(TESLA_C2050)
+        with pytest.raises(DeviceError):
+            dev.launch(scale_kernel, 4, {"alpha": 1.0})
+
+    def test_zero_global_size_rejected(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("v", 4)
+        with pytest.raises(DeviceError):
+            dev.launch(scale_kernel, 0, {"alpha": 1.0})
+
+    def test_reset_accounting(self):
+        dev = Device(TESLA_C2050)
+        dev.alloc("v", 4)
+        dev.launch(scale_kernel, 4, {"alpha": 1.0})
+        dev.reset_accounting()
+        assert dev.accounting.launches == 0
+        assert dev.modeled_time_s == 0.0
+
+
+class TestValidationMode:
+    def test_catches_divergent_batch_implementation(self):
+        """A kernel whose batch path disagrees with its scalar spec must
+        be flagged — this is the mechanism proving Algorithm-2 fidelity."""
+
+        def scalar(i, state, params):
+            return {("v", i): state["v"][i] + 1.0}
+
+        def bad_batch(ids, buffers, params):
+            buffers["v"][ids] += 2.0  # wrong!
+
+        bad = Kernel("bad", scalar, bad_batch, KernelCosts(16.0, 1.0), ("v",))
+        dev = Device(TESLA_C2050, validate=True)
+        dev.alloc("v", 8)
+        with pytest.raises(DeviceError, match="divergence"):
+            dev.launch(bad, 8)
+
+    def test_catches_overlapping_writes(self):
+        def scalar(i, state, params):
+            return {("v", 0): 1.0}  # every item writes index 0 (same value)
+
+        def batch(ids, buffers, params):
+            buffers["v"][0] = 1.0
+
+        overlapping = Kernel("overlap", scalar, batch, KernelCosts(8.0, 0.0), ("v",))
+        dev = Device(TESLA_C2050, validate=True)
+        dev.alloc("v", 8)
+        with pytest.raises(DeviceError, match="overlapping"):
+            dev.launch(overlapping, 8)
+
+    def test_passes_correct_kernel(self):
+        dev = Device(TESLA_C2050, validate=True)
+        dev.alloc("v", 64)
+        dev.to_device("v", np.random.default_rng(0).random(64))
+        dev.launch(scale_kernel, 64, {"alpha": 1.5})  # must not raise

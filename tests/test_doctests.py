@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in the public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.landscapes.custom
+import repro.mutation.alphabet
+import repro.mutation.uniform
+import repro.operators.fmmp
+import repro.population.wright_fisher
+import repro.util.timing
+
+MODULES = [
+    repro.landscapes.custom,
+    repro.mutation.alphabet,
+    repro.mutation.uniform,
+    repro.operators.fmmp,
+    repro.population.wright_fisher,
+    repro.util.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+The fast examples are executed end to end (they are part of the public
+deliverable and must keep running); the long-running ones are compiled
+and import-checked so a syntax or API drift still fails the suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "general_mutation.py", "rna_alphabet.py"]
+SLOW = [
+    "antiviral_planning.py",
+    "error_threshold.py",
+    "kronecker_long_chain.py",
+    "gpu_simulation.py",
+    "ode_dynamics.py",
+    "finite_population.py",
+    "convergence_analysis.py",
+]
+
+
+def test_every_example_is_listed():
+    on_disk = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert on_disk == sorted(FAST + SLOW), "keep the smoke-test lists in sync"
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their results"
+
+
+@pytest.mark.parametrize("name", FAST + SLOW)
+def test_example_compiles(name, tmp_path):
+    py_compile.compile(str(EXAMPLES / name), cfile=str(tmp_path / (name + "c")), doraise=True)

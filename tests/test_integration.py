@@ -1,0 +1,121 @@
+"""Integration tests: every solver path agrees on the same physics.
+
+One quasispecies problem, solved through every route the library offers
+— dense LAPACK, power iteration over all three operator kinds and all
+three eigenproblem forms, shifted, Lanczos, CG inverse iteration, the
+simulated device pipeline, and the replicator–mutator dynamics — must
+produce the same eigenvalue and the same concentrations.  For
+structured landscapes, the reduced and Kronecker solvers join the club.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import Device, DevicePowerIteration, TESLA_C2050
+from repro.landscapes import (
+    HammingLandscape,
+    KroneckerLandscape,
+    RandomLandscape,
+    TabulatedLandscape,
+)
+from repro.model import QuasispeciesModel, class_concentrations
+from repro.model.ode import integrate_to_stationary
+from repro.mutation import UniformMutation
+from repro.operators import Fmmp
+from repro.solvers import KroneckerSolver, PowerIteration, ReducedSolver, dense_solve
+
+NU = 9
+P = 0.015
+
+
+@pytest.fixture(scope="module")
+def general_problem():
+    mut = UniformMutation(NU, P)
+    ls = RandomLandscape(NU, c=5.0, sigma=1.0, seed=33)
+    return mut, ls, dense_solve(mut, ls)
+
+
+class TestGrandAgreementGeneralLandscape:
+    def test_every_route_matches_dense(self, general_problem):
+        mut, ls, ref = general_problem
+        model = QuasispeciesModel(ls, mut)
+
+        routes = {
+            "Pi(Fmmp,right)": model.solve("power", operator="fmmp", form="right", tol=1e-13),
+            "Pi(Fmmp,symmetric)": model.solve("power", operator="fmmp", form="symmetric", tol=1e-13),
+            "Pi(Fmmp,left)": model.solve("power", operator="fmmp", form="left", tol=1e-13),
+            "Pi(Fmmp,shifted)": model.solve("power", shift=True, tol=1e-13),
+            "Pi(Xmvp(nu))": model.solve("power", operator="xmvp", tol=1e-13),
+            "Pi(Smvp)": model.solve("power", operator="smvp", tol=1e-13),
+            "Lanczos": model.solve("lanczos", tol=1e-12),
+        }
+        for label, res in routes.items():
+            assert res.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-9), label
+            np.testing.assert_allclose(
+                res.concentrations, ref.concentrations, atol=1e-8, err_msg=label
+            )
+
+    def test_device_pipeline_agrees(self, general_problem):
+        mut, ls, ref = general_problem
+        rep = DevicePowerIteration(Device(TESLA_C2050), mut, ls, tol=1e-13).run()
+        np.testing.assert_allclose(rep.result.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_dynamics_agree(self, general_problem):
+        mut, ls, ref = general_problem
+        x, _ = integrate_to_stationary(mut, ls, dt=0.05, tol=1e-10)
+        np.testing.assert_allclose(x, ref.concentrations, atol=1e-8)
+
+
+class TestGrandAgreementHammingLandscape:
+    def test_reduced_equals_full_equals_auto(self):
+        ls = HammingLandscape(NU, lambda k: 2.0 - k / NU)
+        mut = UniformMutation(NU, P)
+        ref = dense_solve(mut, ls)
+        red = ReducedSolver(NU, P, ls).solve()
+        auto = QuasispeciesModel(ls, mut).solve()
+        assert red.eigenvalue == pytest.approx(ref.eigenvalue, rel=1e-11)
+        assert auto.eigenvalue == pytest.approx(ref.eigenvalue, rel=1e-11)
+        np.testing.assert_allclose(
+            red.concentrations, class_concentrations(ref.concentrations, NU), atol=1e-11
+        )
+        np.testing.assert_allclose(auto.concentrations, red.concentrations, atol=1e-13)
+
+
+class TestGrandAgreementKroneckerLandscape:
+    def test_kronecker_equals_full_equals_auto(self):
+        rng = np.random.default_rng(4)
+        kl = KroneckerLandscape([rng.random(8) + 0.5, rng.random(8) + 0.5])
+        mut = UniformMutation(kl.nu, P)
+        full_ls = TabulatedLandscape(kl.values())
+        ref = PowerIteration(Fmmp(mut, full_ls), tol=1e-13).solve(
+            full_ls.start_vector(), landscape=full_ls
+        )
+        dec = KroneckerSolver(mut, kl).solve()
+        auto = QuasispeciesModel(kl, mut).solve()
+        assert dec.eigenvalue == pytest.approx(ref.eigenvalue, rel=1e-10)
+        assert auto.eigenvalue == pytest.approx(ref.eigenvalue, rel=1e-10)
+        np.testing.assert_allclose(
+            dec.eigenvector.materialize(), ref.concentrations, atol=1e-10
+        )
+
+
+class TestPhysicalConsistency:
+    def test_eigenvalue_is_mean_fitness(self, general_problem):
+        """λ₀ = Σ fᵢ xᵢ at the stationary distribution — the flux Φ of
+        Eq. (1) equals the dominant eigenvalue."""
+        mut, ls, ref = general_problem
+        phi = float(ls.values() @ ref.concentrations)
+        assert phi == pytest.approx(ref.eigenvalue, rel=1e-10)
+
+    def test_eigenvalue_bounds(self, general_problem):
+        """(1−2p)^ν·f_min ≤ λ₀ ≤ f_max (the Sec. 3 norm bounds)."""
+        mut, ls, ref = general_problem
+        assert (1 - 2 * P) ** NU * ls.fmin <= ref.eigenvalue <= ls.fmax
+
+    def test_stationarity_of_solution(self, general_problem):
+        """One more W application changes nothing after normalization."""
+        mut, ls, ref = general_problem
+        op = Fmmp(mut, ls)
+        y = op.matvec(ref.concentrations)
+        y /= y.sum()
+        np.testing.assert_allclose(y, ref.concentrations, atol=1e-10)

@@ -1,0 +1,78 @@
+"""Tests for result/sweep persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import load_result, load_sweep, save_result, save_sweep
+from repro.landscapes import SinglePeakLandscape
+from repro.model import QuasispeciesModel
+from repro.model.threshold import sweep_error_rates
+
+
+@pytest.fixture
+def result():
+    model = QuasispeciesModel(SinglePeakLandscape(8), p=0.01)
+    return model.solve("power", tol=1e-11, record_history=True)
+
+
+@pytest.fixture
+def sweep():
+    return sweep_error_rates(SinglePeakLandscape(10), np.linspace(0.01, 0.08, 8))
+
+
+class TestResultRoundtrip:
+    def test_all_fields_preserved(self, result, tmp_path):
+        path = str(tmp_path / "res.npz")
+        save_result(path, result)
+        loaded = load_result(path)
+        assert loaded.eigenvalue == result.eigenvalue
+        assert loaded.iterations == result.iterations
+        assert loaded.residual == result.residual
+        assert loaded.converged == result.converged
+        assert loaded.method == result.method
+        np.testing.assert_array_equal(loaded.eigenvector, result.eigenvector)
+        np.testing.assert_array_equal(loaded.concentrations, result.concentrations)
+        assert len(loaded.history) == len(result.history)
+        assert loaded.history[0].iteration == result.history[0].iteration
+
+    def test_empty_history(self, tmp_path):
+        model = QuasispeciesModel(SinglePeakLandscape(6), p=0.01)
+        res = model.solve("reduced")
+        path = str(tmp_path / "red.npz")
+        save_result(path, res)
+        assert load_result(path).history == []
+
+    def test_wrong_kind_rejected(self, result, sweep, tmp_path):
+        path = str(tmp_path / "sweep.npz")
+        save_sweep(path, sweep)
+        with pytest.raises(ValidationError):
+            load_result(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(str(path), data=np.zeros(3))
+        with pytest.raises(ValidationError):
+            load_result(str(path))
+
+
+class TestSweepRoundtrip:
+    def test_roundtrip(self, sweep, tmp_path):
+        path = str(tmp_path / "sweep.npz")
+        save_sweep(path, sweep)
+        loaded = load_sweep(path)
+        assert loaded.nu == sweep.nu
+        assert loaded.p_max == sweep.p_max
+        np.testing.assert_array_equal(loaded.error_rates, sweep.error_rates)
+        np.testing.assert_array_equal(
+            loaded.class_concentrations, sweep.class_concentrations
+        )
+
+    def test_none_p_max_preserved(self, tmp_path):
+        from repro.landscapes import LinearLandscape
+
+        s = sweep_error_rates(LinearLandscape(10), np.linspace(0.01, 0.05, 5))
+        assert s.p_max is None
+        path = str(tmp_path / "lin.npz")
+        save_sweep(path, s)
+        assert load_sweep(path).p_max is None

@@ -1,0 +1,187 @@
+"""Tests for all fitness landscape classes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import ValidationError
+from repro.landscapes import (
+    HammingLandscape,
+    KroneckerLandscape,
+    LinearLandscape,
+    RandomLandscape,
+    SinglePeakLandscape,
+    TabulatedLandscape,
+)
+
+
+class TestTabulated:
+    def test_basic(self):
+        ls = TabulatedLandscape([2.0, 1.0, 1.0, 1.0])
+        assert ls.nu == 2 and ls.fmax == 2.0 and ls.fmin == 1.0
+
+    def test_values_read_only(self):
+        ls = TabulatedLandscape([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ls.values()[0] = 5.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            TabulatedLandscape([1.0, 2.0, 3.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            TabulatedLandscape([1.0, 0.0, 1.0, 1.0])
+
+    def test_error_class_detection_positive(self):
+        labels = distance_to_master(3)
+        vals = np.array([3.0, 2.0, 1.5, 1.0])[labels]
+        ls = TabulatedLandscape(vals)
+        assert ls.is_error_class_landscape
+        np.testing.assert_allclose(ls.class_values(), [3.0, 2.0, 1.5, 1.0])
+
+    def test_error_class_detection_negative(self):
+        vals = np.ones(8)
+        vals[3] = 2.0  # breaks class Γ2 constancy
+        ls = TabulatedLandscape(vals)
+        assert not ls.is_error_class_landscape
+        with pytest.raises(ValidationError):
+            ls.class_values()
+
+    def test_start_vector(self):
+        ls = TabulatedLandscape([2.0, 1.0, 1.0, 4.0])
+        sv = ls.start_vector()
+        np.testing.assert_allclose(sv.sum(), 1.0)
+        np.testing.assert_allclose(sv, np.array([2, 1, 1, 4]) / 8.0)
+
+
+class TestHamming:
+    def test_callable_phi(self):
+        ls = HammingLandscape(4, lambda k: 2.0 ** (-k))
+        np.testing.assert_allclose(ls.class_values(), [1, 0.5, 0.25, 0.125, 0.0625])
+
+    def test_sequence_phi(self):
+        ls = HammingLandscape(3, [4.0, 3.0, 2.0, 1.0])
+        f = ls.values()
+        np.testing.assert_allclose(f, np.array([4.0, 3.0, 2.0, 1.0])[distance_to_master(3)])
+
+    def test_wrong_length(self):
+        with pytest.raises(ValidationError):
+            HammingLandscape(3, [1.0, 2.0])
+
+    def test_long_chain_values_guarded(self):
+        ls = HammingLandscape(100, lambda k: 1.0 + 1.0 / (k + 1))
+        assert ls.fmax == 2.0
+        with pytest.raises(ValidationError):
+            ls.values()
+
+    def test_is_error_class(self):
+        assert HammingLandscape(5, lambda k: k + 1.0).is_error_class_landscape
+
+
+class TestSinglePeak:
+    def test_paper_values(self):
+        ls = SinglePeakLandscape(20, 2.0, 1.0)
+        cv = ls.class_values()
+        assert cv[0] == 2.0 and np.all(cv[1:] == 1.0)
+        assert ls.superiority == 2.0
+
+    def test_predicted_threshold_matches_classic_formula(self):
+        import math
+
+        ls = SinglePeakLandscape(20, 2.0, 1.0)
+        assert ls.predicted_threshold() == pytest.approx(math.log(2.0) / 20)
+
+    def test_rejects_flat_peak(self):
+        with pytest.raises(ValidationError):
+            SinglePeakLandscape(5, 1.0, 1.0)
+
+
+class TestLinear:
+    def test_paper_values(self):
+        ls = LinearLandscape(20, 2.0, 1.0)
+        cv = ls.class_values()
+        assert cv[0] == 2.0
+        assert cv[-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(np.diff(cv), -0.05)
+
+    def test_constant_allowed(self):
+        ls = LinearLandscape(4, 1.5, 1.5)
+        np.testing.assert_allclose(ls.class_values(), 1.5)
+
+    def test_rejects_increasing(self):
+        with pytest.raises(ValidationError):
+            LinearLandscape(4, 1.0, 2.0)
+
+
+class TestRandom:
+    def test_eq13_structure(self):
+        ls = RandomLandscape(8, c=5.0, sigma=1.0, seed=42)
+        f = ls.values()
+        assert f[0] == 5.0
+        assert np.all(f[1:] >= 0.5) and np.all(f[1:] <= 1.5)
+
+    def test_reproducible(self):
+        a = RandomLandscape(6, seed=7).values()
+        b = RandomLandscape(6, seed=7).values()
+        np.testing.assert_array_equal(a, b)
+
+    def test_sigma_constraint(self):
+        with pytest.raises(ValidationError):
+            RandomLandscape(5, c=2.0, sigma=1.5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 2**31))
+    def test_master_always_fittest(self, nu, seed):
+        ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=seed)
+        assert ls.fmax == 5.0
+        assert ls.values().argmax() == 0
+
+
+class TestKronecker:
+    def test_values_match_kron(self):
+        d1, d2 = np.array([1.0, 2.0]), np.array([3.0, 4.0, 5.0, 6.0])
+        ls = KroneckerLandscape([d1, d2])
+        np.testing.assert_allclose(ls.values(), np.kron(d1, d2))
+        assert ls.nu == 3 and ls.group_sizes == (1, 2)
+
+    def test_value_at_matches_values(self):
+        rng = np.random.default_rng(0)
+        ls = KroneckerLandscape([rng.random(4) + 0.5, rng.random(8) + 0.5])
+        full = ls.values()
+        for i in range(32):
+            assert ls.value_at(i) == pytest.approx(full[i], rel=1e-14)
+
+    def test_fmin_fmax_without_materializing(self):
+        rng = np.random.default_rng(1)
+        diags = [rng.random(4) + 0.1 for _ in range(3)]
+        ls = KroneckerLandscape(diags)
+        full = ls.values()
+        assert ls.fmin == pytest.approx(full.min())
+        assert ls.fmax == pytest.approx(full.max())
+
+    def test_long_chain_guarded(self):
+        ls = KroneckerLandscape([np.ones(1 << 10) + 1.0] * 10)  # nu = 100
+        assert ls.nu == 100
+        assert ls.fmax == 2.0**10
+        with pytest.raises(ValidationError):
+            ls.values()
+
+    def test_degrees_of_freedom(self):
+        ls = KroneckerLandscape([np.ones(4) * 2, np.ones(8) * 3])
+        assert ls.degrees_of_freedom == 12
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            KroneckerLandscape([np.array([1.0, 0.0])])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            KroneckerLandscape([np.array([1.0, 2.0, 3.0])])
+
+    def test_index_out_of_range(self):
+        ls = KroneckerLandscape([np.array([1.0, 2.0])])
+        with pytest.raises(ValidationError):
+            ls.value_at(2)

@@ -1,0 +1,133 @@
+"""Tests for the multiplicative / additive / NK landscape families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.landscapes import (
+    AdditiveLandscape,
+    MultiplicativeLandscape,
+    NKLandscape,
+)
+from repro.mutation import UniformMutation
+from repro.solvers import KroneckerSolver, dense_solve
+from repro.landscapes.custom import TabulatedLandscape
+
+
+class TestMultiplicative:
+    def test_values_formula(self):
+        ls = MultiplicativeLandscape(2.0, [0.1, 0.5])
+        # f_i = 2 * (1-0.1)^bit0 * (1-0.5)^bit1
+        np.testing.assert_allclose(ls.values(), [2.0, 1.8, 1.0, 0.9])
+
+    def test_is_kronecker_and_decouples(self):
+        """The advertised payoff: the Sec. 5.2 solver applies directly."""
+        effects = [0.05, 0.2, 0.1, 0.3]
+        ls = MultiplicativeLandscape(3.0, effects)
+        mut = UniformMutation(4, 0.02)
+        dec = KroneckerSolver(mut, ls).solve()
+        full = dense_solve(mut, TabulatedLandscape(ls.values()))
+        assert dec.eigenvalue == pytest.approx(full.eigenvalue, rel=1e-11)
+        np.testing.assert_allclose(
+            dec.eigenvector.materialize(), full.concentrations, atol=1e-11
+        )
+
+    def test_master_is_fittest(self):
+        ls = MultiplicativeLandscape(2.0, [0.1, 0.01, 0.3])
+        assert ls.values().argmax() == 0
+        assert ls.fmax == pytest.approx(2.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.floats(0.0, 0.9), min_size=1, max_size=8))
+    def test_fmin_formula(self, effects):
+        ls = MultiplicativeLandscape(1.5, effects)
+        expected = 1.5 * np.prod([1 - e for e in effects])
+        assert ls.fmin == pytest.approx(expected, rel=1e-10)
+
+    def test_effect_range_validated(self):
+        with pytest.raises(ValidationError):
+            MultiplicativeLandscape(1.0, [1.0])
+        with pytest.raises(ValidationError):
+            MultiplicativeLandscape(1.0, [-0.1])
+
+
+class TestAdditive:
+    def test_values_formula(self):
+        ls = AdditiveLandscape(3.0, [0.5, 1.0])
+        np.testing.assert_allclose(ls.values(), [3.0, 2.5, 2.0, 1.5])
+
+    def test_uniform_effects_is_error_class(self):
+        assert AdditiveLandscape(3.0, [0.2] * 5).is_error_class_landscape
+
+    def test_distinct_effects_not_error_class(self):
+        ls = AdditiveLandscape(3.0, [0.2, 0.3, 0.1])
+        assert not ls.is_error_class_landscape
+
+    def test_bounds(self):
+        ls = AdditiveLandscape(4.0, [0.5, 1.0, 0.25])
+        assert ls.fmax == 4.0 and ls.fmin == pytest.approx(2.25)
+
+    def test_positivity_guard(self):
+        with pytest.raises(ValidationError):
+            AdditiveLandscape(1.0, [0.6, 0.6])
+
+    def test_solver_end_to_end(self):
+        """Additive-non-uniform: the honest general workload — full
+        solver only, and it just works."""
+        ls = AdditiveLandscape(3.0, [0.1, 0.4, 0.2, 0.3, 0.15, 0.25])
+        mut = UniformMutation(6, 0.02)
+        res = dense_solve(mut, ls)
+        assert res.concentrations.argmax() == 0
+        assert res.converged
+
+
+class TestNK:
+    def test_reproducible(self):
+        a = NKLandscape(8, 2, seed=5).values()
+        b = NKLandscape(8, 2, seed=5).values()
+        np.testing.assert_array_equal(a, b)
+
+    def test_positive(self):
+        ls = NKLandscape(8, 3, seed=1)
+        assert ls.fmin > 0
+
+    def test_k_zero_is_additive(self):
+        """K = 0: each site contributes independently, so fitness is an
+        additive function of the bits."""
+        ls = NKLandscape(6, 0, seed=2)
+        f = ls.values()
+        # Additivity test: f(i) + f(0) == f(i & mask) + f(i | ...) for
+        # single-bit decompositions: f(a|b) - f(a) constant over a for a
+        # fixed new bit b.
+        idx = np.arange(64)
+        for s in range(6):
+            without = idx[(idx >> s) & 1 == 0]
+            delta = f[without ^ (1 << s)] - f[without]
+            np.testing.assert_allclose(delta, delta[0], atol=1e-12)
+
+    def test_ruggedness_grows_with_k(self):
+        """More epistasis ⇒ more local optima (averaged over seeds)."""
+        def mean_rug(k):
+            return np.mean([NKLandscape(10, k, seed=s).ruggedness() for s in range(5)])
+
+        assert mean_rug(0) < mean_rug(4) < mean_rug(9) + 1e-9
+        assert mean_rug(0) == pytest.approx(1.0 / (1 << 10), abs=2e-3)
+
+    def test_k_validation(self):
+        with pytest.raises(ValidationError):
+            NKLandscape(6, 6)
+
+    def test_quasispecies_on_rugged_landscape(self):
+        """The general solver handles maximal ruggedness unchanged."""
+        ls = NKLandscape(8, 6, seed=3)
+        mut = UniformMutation(8, 0.01)
+        from repro.operators import Fmmp
+        from repro.solvers import PowerIteration
+
+        res = PowerIteration(Fmmp(mut, ls), tol=1e-11).solve(
+            ls.start_vector(), landscape=ls
+        )
+        ref = dense_solve(mut, ls)
+        np.testing.assert_allclose(res.concentrations, ref.concentrations, atol=1e-8)

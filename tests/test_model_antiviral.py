@@ -1,0 +1,99 @@
+"""Tests for lethal-mutagenesis planning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import LinearLandscape, SinglePeakLandscape
+from repro.model.antiviral import find_threshold, mutagenesis_margin
+
+
+class TestFindThreshold:
+    def test_single_peak_matches_sweep(self):
+        """Bisection pins p_max far more precisely than a sweep grid and
+        must agree with the classic ln(σ)/ν estimate's neighbourhood."""
+        nu = 16
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        p_max = find_threshold(ls, tol_p=1e-4)
+        assert p_max is not None
+        assert np.log(2.0) / nu * 0.8 <= p_max <= np.log(2.0) / nu * 1.5
+
+    def test_agrees_with_sweep_detector(self):
+        from repro.model.threshold import sweep_error_rates
+
+        nu = 14
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        p_bisect = find_threshold(ls, tol_p=1e-4)
+        sweep = sweep_error_rates(ls, np.linspace(0.002, 0.15, 75))
+        assert abs(p_bisect - sweep.p_max) <= 0.004  # within the grid step
+
+    def test_linear_landscape_no_threshold(self):
+        assert find_threshold(LinearLandscape(14, 2.0, 1.0)) is None
+
+    def test_monotone_in_peak_height(self):
+        nu = 12
+        low = find_threshold(SinglePeakLandscape(nu, 2.0, 1.0))
+        high = find_threshold(SinglePeakLandscape(nu, 6.0, 1.0))
+        assert low is not None and high is not None
+        assert high > low
+
+    def test_bad_bracket(self):
+        with pytest.raises(ValidationError):
+            find_threshold(SinglePeakLandscape(8), p_lo=0.2, p_hi=0.1)
+
+    def test_general_landscape_path(self):
+        """Non-Hamming landscapes go through the full fast solver: a
+        single peak with a small symmetry-breaking perturbation keeps
+        the sharp threshold but loses the class structure."""
+        from repro.landscapes import TabulatedLandscape
+
+        nu = 12
+        base = SinglePeakLandscape(nu, 2.0, 1.0)
+        rng = np.random.default_rng(3)
+        vals = base.values() * (1.0 + 0.02 * rng.standard_normal(1 << nu))
+        ls = TabulatedLandscape(np.abs(vals) + 0.5)
+        assert not ls.is_error_class_landscape
+        p_max = find_threshold(ls, tol_p=1e-3)
+        clean = find_threshold(base, tol_p=1e-3)
+        assert p_max is not None and clean is not None
+        assert p_max == pytest.approx(clean, rel=0.25)
+
+    def test_short_rugged_landscape_has_no_sharp_threshold(self):
+        """ν = 8 random landscapes transition gradually (finite-size
+        smearing): the sharpness criterion correctly reports none."""
+        from repro.landscapes import RandomLandscape
+
+        ls = RandomLandscape(8, c=5.0, sigma=1.0, seed=2)
+        assert find_threshold(ls, p_hi=0.45, tol_p=5e-3) is None
+
+
+class TestMutagenesisMargin:
+    def test_below_threshold_treatable(self):
+        nu = 16
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        assessment = mutagenesis_margin(ls, 0.01)
+        assert assessment.treatable
+        assert assessment.margin > 0
+        assert assessment.fold_increase > 1.0
+        assert assessment.master_concentration > 0.1
+
+    def test_above_threshold_negative_margin(self):
+        nu = 16
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        assessment = mutagenesis_margin(ls, 0.2)
+        assert assessment.treatable
+        assert assessment.margin < 0, "already past the threshold"
+
+    def test_smooth_landscape_not_treatable(self):
+        assessment = mutagenesis_margin(LinearLandscape(12, 2.0, 1.0), 0.01)
+        assert not assessment.treatable
+        assert assessment.margin is None and assessment.fold_increase is None
+
+    def test_paper_magnitudes(self):
+        """Sec. 1.1: typical p_max ~ 0.01–0.1, natural rates close to it
+        — margins should be small fractions of p itself."""
+        nu = 20
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        assessment = mutagenesis_margin(ls, 0.03)
+        assert 0.01 <= assessment.p_max <= 0.1
+        assert assessment.fold_increase < 2.0

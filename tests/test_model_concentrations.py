@@ -1,0 +1,80 @@
+"""Tests for concentration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model.concentrations import (
+    class_concentrations,
+    dominant_sequence,
+    participation_ratio,
+    uniform_class_concentrations,
+)
+
+
+class TestClassConcentrations:
+    def test_pure_master(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        gamma = class_concentrations(x, 4)
+        np.testing.assert_array_equal(gamma, [1, 0, 0, 0, 0])
+
+    def test_uniform_distribution(self):
+        nu = 6
+        x = np.full(1 << nu, 2.0**-nu)
+        np.testing.assert_allclose(
+            class_concentrations(x, nu), uniform_class_concentrations(nu)
+        )
+
+    def test_sums_preserved(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(32)
+        assert class_concentrations(x, 5).sum() == pytest.approx(x.sum())
+
+    def test_wrong_length(self):
+        with pytest.raises(ValidationError):
+            class_concentrations(np.ones(10), 4)
+
+
+class TestUniformClassConcentrations:
+    def test_binomial_over_n(self):
+        np.testing.assert_allclose(
+            uniform_class_concentrations(4), np.array([1, 4, 6, 4, 1]) / 16.0
+        )
+
+    def test_normalized(self):
+        assert uniform_class_concentrations(20).sum() == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        """Γ_k and Γ_{ν−k} pairs — the curve pairs of Fig. 1 that meet at
+        the threshold."""
+        g = uniform_class_concentrations(9)
+        np.testing.assert_allclose(g, g[::-1])
+
+
+class TestDominantSequence:
+    def test_basic(self):
+        idx, conc = dominant_sequence(np.array([0.1, 0.7, 0.2]))
+        assert idx == 1 and conc == 0.7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            dominant_sequence(np.array([]))
+
+
+class TestParticipationRatio:
+    def test_single_sequence(self):
+        x = np.zeros(8)
+        x[3] = 1.0
+        assert participation_ratio(x) == pytest.approx(1.0)
+
+    def test_uniform(self):
+        assert participation_ratio(np.full(64, 1 / 64)) == pytest.approx(64.0)
+
+    def test_monotone_between_extremes(self):
+        ordered = np.array([0.9] + [0.1 / 7] * 7)
+        assert 1.0 < participation_ratio(ordered) < 8.0
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            participation_ratio(np.zeros(4))

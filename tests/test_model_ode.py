@@ -1,0 +1,99 @@
+"""Tests for the replicator–mutator ODE (Eq. 1) — the physical ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape, SinglePeakLandscape
+from repro.model.ode import QuasispeciesODE, integrate_to_stationary
+from repro.mutation import PerSiteMutation, UniformMutation
+from repro.solvers import dense_solve
+
+
+@pytest.fixture
+def system():
+    nu, p = 6, 0.02
+    mut = UniformMutation(nu, p)
+    ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=9)
+    return mut, ls
+
+
+class TestRhs:
+    def test_tangent_to_simplex(self, system):
+        """Σ ẋ = 0: the flow preserves total concentration (this is what
+        the Φ·x dilution term is for)."""
+        mut, ls = system
+        ode = QuasispeciesODE(mut, ls)
+        rng = np.random.default_rng(0)
+        x = rng.random(ode.n)
+        x /= x.sum()
+        assert abs(ode.rhs(x).sum()) < 1e-12
+
+    def test_flux_is_mean_fitness(self, system):
+        mut, ls = system
+        ode = QuasispeciesODE(mut, ls)
+        x = np.full(ode.n, 1.0 / ode.n)
+        assert ode.flux(x) == pytest.approx(ls.values().mean())
+
+    def test_eigenvector_is_fixed_point(self, system):
+        """At the Perron vector, ẋ = W·x − λ₀·x = 0."""
+        mut, ls = system
+        ref = dense_solve(mut, ls)
+        ode = QuasispeciesODE(mut, ls)
+        assert np.abs(ode.rhs(ref.concentrations)).max() < 1e-9
+
+    def test_mismatched_nu(self):
+        with pytest.raises(ValidationError):
+            QuasispeciesODE(UniformMutation(4, 0.1), RandomLandscape(5, seed=0))
+
+
+class TestIntegration:
+    def test_stationary_matches_eigenvector(self, system):
+        """The paper's entire premise: the long-time limit of Eq. (1) is
+        the dominant eigenvector of W."""
+        mut, ls = system
+        ref = dense_solve(mut, ls)
+        x, steps = integrate_to_stationary(mut, ls, dt=0.05, tol=1e-10)
+        assert steps > 0
+        np.testing.assert_allclose(x, ref.concentrations, atol=1e-8)
+
+    def test_master_start_default(self, system):
+        mut, ls = system
+        ode = QuasispeciesODE(mut, ls)
+        x0 = ode.master_start()
+        assert x0[0] == 1.0 and x0.sum() == 1.0
+
+    def test_integrate_stays_on_simplex(self, system):
+        mut, ls = system
+        ode = QuasispeciesODE(mut, ls)
+        x, _ = ode.integrate(t_end=5.0, dt=0.05)
+        assert x.min() >= 0.0
+        assert x.sum() == pytest.approx(1.0)
+
+    def test_trajectory_recording(self, system):
+        mut, ls = system
+        ode = QuasispeciesODE(mut, ls)
+        _, traj = ode.integrate(t_end=1.0, dt=0.1, record_every=2)
+        assert len(traj) == 5
+        for snap in traj:
+            assert snap.sum() == pytest.approx(1.0)
+
+    def test_general_mutation_model(self):
+        """The ODE works with the generalized (per-site) processes too —
+        end-to-end check of Sec. 2.2 against the eigensolver."""
+        rates = [0.01, 0.03, 0.02, 0.05, 0.01]
+        mut = PerSiteMutation.from_error_rates(rates)
+        ls = SinglePeakLandscape(5, 3.0, 1.0)
+        ref = dense_solve(mut, ls)
+        x, _ = integrate_to_stationary(mut, ls, dt=0.05, tol=1e-10)
+        np.testing.assert_allclose(x, ref.concentrations, atol=1e-8)
+
+    def test_invalid_dt(self, system):
+        mut, ls = system
+        with pytest.raises(ValidationError):
+            QuasispeciesODE(mut, ls).integrate(dt=0.0)
+
+    def test_invalid_x0(self, system):
+        mut, ls = system
+        with pytest.raises(ValidationError):
+            integrate_to_stationary(mut, ls, x0=np.full(mut.n, 0.5))

@@ -1,0 +1,49 @@
+"""Tests for the process-parallel sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape, SinglePeakLandscape
+from repro.model.parallel_sweep import parallel_sweep_error_rates
+from repro.model.threshold import sweep_error_rates
+
+RATES = np.linspace(0.005, 0.1, 12)
+
+
+class TestParallelSweep:
+    def test_identical_to_serial(self):
+        ls = SinglePeakLandscape(14, 2.0, 1.0)
+        serial = sweep_error_rates(ls, RATES)
+        parallel = parallel_sweep_error_rates(ls, RATES, max_workers=4)
+        np.testing.assert_allclose(
+            parallel.class_concentrations, serial.class_concentrations, atol=1e-13
+        )
+        assert parallel.p_max == serial.p_max
+
+    def test_single_worker_path(self):
+        ls = SinglePeakLandscape(10, 2.0, 1.0)
+        serial = sweep_error_rates(ls, RATES)
+        one = parallel_sweep_error_rates(ls, RATES, max_workers=1)
+        np.testing.assert_allclose(
+            one.class_concentrations, serial.class_concentrations, atol=1e-13
+        )
+
+    def test_p_zero_point(self):
+        ls = SinglePeakLandscape(8)
+        sweep = parallel_sweep_error_rates(ls, np.array([0.0, 0.02]), max_workers=2)
+        np.testing.assert_array_equal(sweep.class_concentrations[0], [1.0] + [0.0] * 8)
+
+    def test_rejects_general_landscape(self):
+        with pytest.raises(ValidationError):
+            parallel_sweep_error_rates(RandomLandscape(6, seed=0), RATES)
+
+    def test_rejects_bad_grid(self):
+        ls = SinglePeakLandscape(8)
+        with pytest.raises(ValidationError):
+            parallel_sweep_error_rates(ls, np.array([0.05, 0.01]))
+
+    def test_workers_capped_by_grid(self):
+        ls = SinglePeakLandscape(8)
+        sweep = parallel_sweep_error_rates(ls, np.array([0.01, 0.02]), max_workers=64)
+        assert sweep.class_concentrations.shape == (2, 9)

@@ -1,0 +1,174 @@
+"""Tests for the QuasispeciesModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import (
+    KroneckerLandscape,
+    RandomLandscape,
+    SinglePeakLandscape,
+    TabulatedLandscape,
+)
+from repro.model import QuasispeciesModel, class_concentrations
+from repro.mutation import PerSiteMutation, UniformMutation
+from repro.solvers import dense_solve
+from repro.solvers.kron_solver import KroneckerSolveResult
+
+
+class TestConstruction:
+    def test_p_shorthand(self):
+        m = QuasispeciesModel(SinglePeakLandscape(6), p=0.01)
+        assert isinstance(m.mutation, UniformMutation)
+        assert m.uniform_p == 0.01
+
+    def test_requires_mutation_or_p(self):
+        with pytest.raises(ValidationError):
+            QuasispeciesModel(SinglePeakLandscape(6))
+
+    def test_conflicting_p(self):
+        with pytest.raises(ValidationError):
+            QuasispeciesModel(SinglePeakLandscape(6), UniformMutation(6, 0.02), p=0.01)
+
+    def test_mismatched_nu(self):
+        with pytest.raises(ValidationError):
+            QuasispeciesModel(SinglePeakLandscape(6), UniformMutation(5, 0.01))
+
+    def test_uniform_p_none_for_general_model(self):
+        m = QuasispeciesModel(
+            SinglePeakLandscape(3), PerSiteMutation.from_error_rates([0.01] * 3)
+        )
+        assert m.uniform_p is None
+
+
+class TestAutoDispatch:
+    def test_hamming_goes_reduced(self):
+        m = QuasispeciesModel(SinglePeakLandscape(8), p=0.01)
+        res = m.solve()
+        assert res.method.startswith("Reduced")
+
+    def test_random_goes_power(self):
+        m = QuasispeciesModel(RandomLandscape(7, seed=0), p=0.01)
+        res = m.solve()
+        assert res.method.startswith("Pi(")
+        assert "shifted" in res.method
+
+    def test_kronecker_goes_decoupled(self):
+        rng = np.random.default_rng(0)
+        kl = KroneckerLandscape([rng.random(4) + 0.5, rng.random(4) + 0.5])
+        res = QuasispeciesModel(kl, p=0.02).solve()
+        assert isinstance(res, KroneckerSolveResult)
+
+    def test_per_site_hamming_falls_back_to_power(self):
+        """The reduction needs the uniform model; per-site mutation on a
+        Hamming landscape must route to the power iteration."""
+        mut = PerSiteMutation.from_error_rates([0.01, 0.02, 0.01, 0.03, 0.02])
+        m = QuasispeciesModel(SinglePeakLandscape(5), mut)
+        res = m.solve()
+        assert res.method.startswith("Pi(")
+
+
+class TestSolveMethods:
+    @pytest.fixture
+    def model(self):
+        return QuasispeciesModel(RandomLandscape(7, seed=5), p=0.02)
+
+    def test_all_methods_agree(self, model):
+        ref = model.solve("dense")
+        for method, kwargs in [
+            ("power", dict(operator="fmmp", tol=1e-13)),
+            ("power", dict(operator="xmvp", tol=1e-13)),
+            ("power", dict(operator="smvp", tol=1e-13)),
+            ("power", dict(operator="fmmp", shift=True, tol=1e-13)),
+            ("lanczos", dict(tol=1e-12)),
+        ]:
+            res = model.solve(method, **kwargs)
+            np.testing.assert_allclose(
+                res.concentrations, ref.concentrations, atol=1e-8,
+                err_msg=f"{method} {kwargs}",
+            )
+
+    def test_explicit_float_shift(self, model):
+        res = model.solve("power", shift=0.001, tol=1e-12)
+        ref = model.solve("dense")
+        assert res.eigenvalue == pytest.approx(ref.eigenvalue, abs=1e-9)
+
+    def test_xmvp_dmax(self, model):
+        res = model.solve("power", operator="xmvp", dmax=5, tol=1e-10)
+        assert "Xmvp(5)" in res.method
+
+    def test_reduced_on_general_landscape_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.solve("reduced")
+
+    def test_unknown_method(self, model):
+        with pytest.raises(ValidationError):
+            model.solve("magic")
+
+    def test_unknown_operator(self, model):
+        with pytest.raises(ValidationError):
+            model.solve("power", operator="blas")
+
+
+class TestReadouts:
+    def test_class_concentrations_full(self):
+        m = QuasispeciesModel(RandomLandscape(6, seed=2), p=0.02)
+        res = m.solve("power", tol=1e-12)
+        gamma = m.class_concentrations(res)
+        assert gamma.shape == (7,)
+        np.testing.assert_allclose(gamma.sum(), 1.0)
+
+    def test_class_concentrations_reduced_passthrough(self):
+        m = QuasispeciesModel(SinglePeakLandscape(8), p=0.01)
+        res = m.solve("reduced")
+        np.testing.assert_array_equal(m.class_concentrations(res), res.concentrations)
+
+    def test_sweep_delegates(self):
+        m = QuasispeciesModel(SinglePeakLandscape(10), p=0.01)
+        sweep = m.sweep(np.linspace(0.01, 0.1, 10))
+        assert sweep.class_concentrations.shape == (10, 11)
+
+    def test_parallel_sweep_identical(self):
+        m = QuasispeciesModel(SinglePeakLandscape(10), p=0.01)
+        rates = np.linspace(0.01, 0.1, 8)
+        serial = m.sweep(rates)
+        par = m.sweep(rates, parallel=True)
+        np.testing.assert_allclose(
+            par.class_concentrations, serial.class_concentrations, atol=1e-13
+        )
+
+    def test_reproductive_values_accessor(self):
+        m = QuasispeciesModel(SinglePeakLandscape(6, 3.0, 1.0), p=0.02)
+        u = m.reproductive_values()
+        x = m.solve("power", tol=1e-12).concentrations
+        assert float(u @ x) == pytest.approx(1.0, rel=1e-8)
+        assert u.argmax() == 0
+
+
+class TestGeneralizedMutationEndToEnd:
+    def test_per_site_vs_dense(self):
+        mut = PerSiteMutation.from_error_rates([0.01, 0.05, 0.02, 0.03, 0.01, 0.04])
+        ls = RandomLandscape(6, seed=8)
+        m = QuasispeciesModel(ls, mut)
+        res = m.solve("power", tol=1e-13)
+        ref = dense_solve(mut, ls)
+        np.testing.assert_allclose(res.concentrations, ref.concentrations, atol=1e-9)
+
+    def test_biased_mutation_shifts_distribution(self):
+        """A strong 1→0 repair bias concentrates the population closer to
+        the master than the symmetric model — a qualitative readout
+        unavailable under the uniform assumption (Sec. 2.2 motivation)."""
+        from repro.mutation import site_factor
+
+        nu = 6
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        sym = QuasispeciesModel(ls, PerSiteMutation.from_error_rates([0.05] * nu)).solve(
+            "power", tol=1e-12
+        )
+        biased_factors = [site_factor(0.05, 0.5) for _ in range(nu)]  # strong back-mutation
+        biased = QuasispeciesModel(ls, PerSiteMutation(biased_factors)).solve(
+            "power", tol=1e-12
+        )
+        g_sym = class_concentrations(sym.concentrations, nu)
+        g_biased = class_concentrations(biased.concentrations, nu)
+        assert g_biased[0] > g_sym[0]

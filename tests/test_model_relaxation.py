@@ -1,0 +1,79 @@
+"""Tests for relaxation-time prediction vs measured dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape
+from repro.model.ode import QuasispeciesODE
+from repro.model.relaxation import measure_relaxation_time, relaxation_time
+from repro.mutation import UniformMutation
+from repro.operators import dense_w
+from repro.solvers import dense_solve
+
+
+@pytest.fixture(scope="module")
+def system():
+    nu, p = 6, 0.03
+    mut = UniformMutation(nu, p)
+    ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=41)
+    w = dense_w(mut, ls, "right")
+    evals = np.sort(np.linalg.eigvals(w).real)
+    ref = dense_solve(mut, ls)
+    return mut, ls, evals, ref
+
+
+class TestPrediction:
+    def test_formula(self):
+        assert relaxation_time(2.0, 1.5) == pytest.approx(2.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValidationError):
+            relaxation_time(1.0, 1.0)
+
+
+class TestMeasurement:
+    def test_measured_matches_spectral_prediction(self, system):
+        """The dynamics relax at the spectral-gap rate 1/(λ₀−λ₁)."""
+        mut, ls, evals, ref = system
+        predicted = relaxation_time(evals[-1], evals[-2])
+        ode = QuasispeciesODE(mut, ls)
+        measured = measure_relaxation_time(
+            ode, ref.concentrations, t_transient=4 * predicted, t_fit=6 * predicted
+        )
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_closer_start_decays_on_same_clock(self, system):
+        """The asymptotic rate is start-independent (same slowest mode)."""
+        mut, ls, evals, ref = system
+        predicted = relaxation_time(evals[-1], evals[-2])
+        ode = QuasispeciesODE(mut, ls)
+        rng = np.random.default_rng(0)
+        x0 = ref.concentrations + 0.05 * rng.random(mut.n)
+        x0 = np.clip(x0, 1e-12, None)
+        x0 /= x0.sum()
+        measured = measure_relaxation_time(
+            ode, ref.concentrations, x0=x0,
+            t_transient=4 * predicted, t_fit=6 * predicted,
+        )
+        assert measured == pytest.approx(predicted, rel=0.2)
+
+    def test_wrong_target_detected_or_implausible(self, system):
+        """Against a wrong target the distance plateaus at a nonzero
+        constant: either the fit rejects (non-decaying) or it returns an
+        apparent time orders of magnitude beyond the physical one."""
+        mut, ls, evals, ref = system
+        predicted = relaxation_time(evals[-1], evals[-2])
+        ode = QuasispeciesODE(mut, ls)
+        wrong_target = np.roll(ref.concentrations, 3)
+        try:
+            tau = measure_relaxation_time(ode, wrong_target, t_transient=50.0, t_fit=3.0)
+        except ValidationError:
+            return
+        assert tau > 50 * predicted
+
+    def test_parameter_validation(self, system):
+        mut, ls, _, ref = system
+        ode = QuasispeciesODE(mut, ls)
+        with pytest.raises(ValidationError):
+            measure_relaxation_time(ode, ref.concentrations, dt=0.0)

@@ -1,0 +1,132 @@
+"""Tests for error-threshold sweeps (Fig. 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import LinearLandscape, RandomLandscape, SinglePeakLandscape
+from repro.model.threshold import ThresholdSweep, detect_error_threshold, sweep_error_rates
+
+
+class TestSweep:
+    def test_single_peak_nu20_paper_threshold(self):
+        """Fig. 1 left: ν = 20, f0 = 2, rest 1 ⇒ p_max ≈ 0.035."""
+        ls = SinglePeakLandscape(20, 2.0, 1.0)
+        rates = np.linspace(0.001, 0.09, 90)
+        sweep = sweep_error_rates(ls, rates)
+        assert sweep.p_max is not None
+        assert 0.025 <= sweep.p_max <= 0.045, f"p_max={sweep.p_max}"
+
+    def test_linear_landscape_no_threshold(self):
+        """Fig. 1 right: the linear landscape transitions smoothly — no
+        threshold inside the swept range."""
+        ls = LinearLandscape(20, 2.0, 1.0)
+        rates = np.linspace(0.001, 0.09, 90)
+        sweep = sweep_error_rates(ls, rates)
+        assert sweep.p_max is None
+
+    def test_master_curve_monotone_decreasing(self):
+        ls = SinglePeakLandscape(15, 2.0, 1.0)
+        sweep = sweep_error_rates(ls, np.linspace(0.001, 0.08, 40))
+        g0 = sweep.master_curve()
+        assert np.all(np.diff(g0) <= 1e-9)
+
+    def test_above_threshold_distribution_is_uniform(self):
+        """Deviations are judged at the distribution's scale: the tiny
+        single-member classes approach their 2^{−ν} values only
+        asymptotically for finite ν (invisible in Fig. 1)."""
+        from repro.model.concentrations import uniform_class_concentrations
+
+        ls = SinglePeakLandscape(20, 2.0, 1.0)
+        sweep = sweep_error_rates(ls, np.linspace(0.001, 0.09, 90))
+        last = sweep.class_concentrations[-1]
+        uni = uniform_class_concentrations(20)
+        np.testing.assert_allclose(last, uni, atol=0.02 * uni.max())
+
+    def test_gamma_pairs_meet_at_threshold(self):
+        """Γ_k and Γ_{ν−k} have equal cardinality, so their cumulative
+        concentrations coincide once the distribution is uniform (the
+        color pairing of Fig. 1) — at plotting resolution."""
+        nu = 20
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        sweep = sweep_error_rates(ls, np.linspace(0.001, 0.09, 45))
+        last = sweep.class_concentrations[-1]
+        scale = last.max()
+        for k in range(nu + 1):
+            assert last[k] == pytest.approx(last[nu - k], abs=0.01 * scale)
+
+    def test_p_zero_point(self):
+        ls = SinglePeakLandscape(10)
+        sweep = sweep_error_rates(ls, np.array([0.0, 0.01]))
+        np.testing.assert_array_equal(
+            sweep.class_concentrations[0], [1.0] + [0.0] * 10
+        )
+
+    def test_rejects_general_landscape(self):
+        with pytest.raises(ValidationError):
+            sweep_error_rates(RandomLandscape(6, seed=0), np.array([0.01]))
+
+    def test_rejects_non_increasing_grid(self):
+        with pytest.raises(ValidationError):
+            sweep_error_rates(SinglePeakLandscape(8), np.array([0.02, 0.01]))
+
+    def test_series_accessor(self):
+        ls = SinglePeakLandscape(8)
+        sweep = sweep_error_rates(ls, np.linspace(0.01, 0.05, 5))
+        assert sweep.series(0).shape == (5,)
+        with pytest.raises(ValidationError):
+            sweep.series(9)
+
+
+class TestDetector:
+    def _mk(self, nu, rows, rates=None):
+        rows = np.asarray(rows, dtype=float)
+        rates = np.linspace(0.01, 0.05, rows.shape[0]) if rates is None else rates
+        return ThresholdSweep(nu=nu, error_rates=rates, class_concentrations=rows)
+
+    def test_never_uniform(self):
+        rows = np.tile([1.0, 0.0, 0.0], (5, 1))
+        assert detect_error_threshold(self._mk(2, rows)) is None
+
+    def test_threshold_in_middle(self):
+        from repro.model.concentrations import uniform_class_concentrations
+
+        uni = uniform_class_concentrations(2)
+        ordered = np.array([0.9, 0.09, 0.01])
+        rows = np.vstack([ordered, ordered, uni, uni, uni])
+        sweep = self._mk(2, rows)
+        pm = detect_error_threshold(sweep)
+        assert pm == pytest.approx(sweep.error_rates[2])
+
+    def test_uniform_only_at_last_point_not_a_threshold(self):
+        from repro.model.concentrations import uniform_class_concentrations
+
+        uni = uniform_class_concentrations(2)
+        ordered = np.array([0.9, 0.09, 0.01])
+        rows = np.vstack([ordered, ordered, ordered, uni])
+        assert detect_error_threshold(self._mk(2, rows)) is None
+
+    def test_threshold_scales_inversely_with_nu(self):
+        """Classic theory: p_max ≈ ln(σ)/ν — longer chains have smaller
+        thresholds."""
+        thresholds = {}
+        for nu in (10, 20):
+            sweep = sweep_error_rates(
+                SinglePeakLandscape(nu, 2.0, 1.0), np.linspace(0.002, 0.12, 60)
+            )
+            thresholds[nu] = sweep.p_max
+        assert thresholds[10] is not None and thresholds[20] is not None
+        assert thresholds[20] < thresholds[10]
+
+    def test_higher_peak_higher_threshold(self):
+        """p_max grows with the superiority σ₀ = f_peak/f_rest (classic
+        p_max ≈ ln σ₀/ν); the sweep range must cover ln(10)/15 ≈ 0.15
+        plus finite-size tail for the high peak."""
+        s_low = sweep_error_rates(
+            SinglePeakLandscape(15, 2.0, 1.0), np.linspace(0.002, 0.3, 150)
+        )
+        s_high = sweep_error_rates(
+            SinglePeakLandscape(15, 10.0, 1.0), np.linspace(0.002, 0.3, 150)
+        )
+        assert s_low.p_max is not None and s_high.p_max is not None
+        assert s_high.p_max > s_low.p_max

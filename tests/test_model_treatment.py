@@ -1,0 +1,108 @@
+"""Tests for time-dependent error rates (treatment courses)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import SinglePeakLandscape
+from repro.model.ode import QuasispeciesODE
+from repro.model.treatment import (
+    TimeVaryingQuasispeciesODE,
+    constant,
+    dose_course,
+    ramp,
+)
+from repro.mutation import UniformMutation
+from repro.solvers import ReducedSolver
+
+
+NU = 8
+LS = SinglePeakLandscape(NU, 3.0, 1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = constant(0.02)
+        assert s(0.0) == 0.02 and s(100.0) == 0.02
+
+    def test_ramp_endpoints(self):
+        s = ramp(0.01, 0.2, t_ramp=10.0)
+        assert s(0.0) == pytest.approx(0.01)
+        assert s(5.0) == pytest.approx(0.105)
+        assert s(10.0) == pytest.approx(0.2)
+        assert s(50.0) == pytest.approx(0.2)
+
+    def test_dose_course_shape(self):
+        s = dose_course(0.01, 0.3, t_on=5.0, t_off=20.0, tau=3.0)
+        assert s(0.0) == pytest.approx(0.01)
+        assert s(6.0) > 0.01
+        peak_level = s(19.9)
+        assert 0.2 < peak_level < 0.3
+        assert s(40.0) < peak_level  # washout
+        assert s(1e3) == pytest.approx(0.01, abs=1e-6)
+
+    def test_schedule_range_enforced(self):
+        from repro.model.treatment import ErrorRateSchedule
+
+        bad = ErrorRateSchedule(lambda t: 0.7)
+        with pytest.raises(ValidationError):
+            bad(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ramp(0.01, 0.1, t_ramp=0.0)
+        with pytest.raises(ValidationError):
+            dose_course(0.01, 0.2, t_on=5.0, t_off=5.0, tau=1.0)
+        with pytest.raises(ValidationError):
+            dose_course(0.01, 0.2, t_on=0.0, t_off=5.0, tau=0.0)
+
+
+class TestDynamics:
+    def test_constant_schedule_matches_fixed_ode(self):
+        p = 0.02
+        tv = TimeVaryingQuasispeciesODE(LS, constant(p))
+        fixed = QuasispeciesODE(UniformMutation(NU, p), LS)
+        x0 = np.full(1 << NU, 1.0 / (1 << NU))
+        a = tv.integrate(x0, t_end=3.0, dt=0.05)
+        b, _ = fixed.integrate(x0, t_end=3.0, dt=0.05)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_mass_conserved_under_varying_p(self):
+        tv = TimeVaryingQuasispeciesODE(LS, ramp(0.01, 0.3, t_ramp=2.0))
+        x0 = np.zeros(1 << NU)
+        x0[0] = 1.0
+        x = tv.integrate(x0, t_end=5.0, dt=0.02)
+        assert x.sum() == pytest.approx(1.0)
+        assert x.min() >= 0.0
+
+    def test_treatment_delocalizes_and_washout_recovers(self):
+        """The pharmacological story: dosing pushes the population over
+        the threshold; stopping the drug lets the master recolonize
+        (the landscape never changed)."""
+        course = dose_course(0.01, 0.35, t_on=2.0, t_off=30.0, tau=1.0)
+        tv = TimeVaryingQuasispeciesODE(LS, course)
+        x0 = ReducedSolver(NU, 0.01, LS).full_eigenvector()
+
+        snapshots = {}
+
+        def observer(t, x):
+            snapshots[round(t, 2)] = x[0]
+
+        tv.integrate(x0, t_end=80.0, dt=0.02, observer=observer, observe_every=50)
+        before = x0[0]
+        during = min(v for t, v in snapshots.items() if 20.0 <= t <= 30.0)
+        after = snapshots[max(snapshots)]
+        assert during < 0.05 * before, "treatment collapses the master"
+        assert after > 0.5 * before, "washout lets the master recolonize"
+
+    def test_observer_cadence(self):
+        tv = TimeVaryingQuasispeciesODE(LS, constant(0.02))
+        calls = []
+        x0 = np.full(1 << NU, 1.0 / (1 << NU))
+        tv.integrate(x0, t_end=1.0, dt=0.1, observer=lambda t, x: calls.append(t), observe_every=2)
+        assert len(calls) == 5
+
+    def test_bad_x0(self):
+        tv = TimeVaryingQuasispeciesODE(LS, constant(0.02))
+        with pytest.raises(ValidationError):
+            tv.integrate(np.full(1 << NU, 0.5), t_end=1.0)

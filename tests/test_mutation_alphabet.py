@@ -1,0 +1,132 @@
+"""Tests for the four-letter RNA alphabet extension (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.landscapes import TabulatedLandscape
+from repro.mutation import (
+    NUCLEOTIDE_ORDER,
+    PerSiteMutation,
+    nucleotide_block,
+    rna_mutation,
+    site_factor,
+)
+from repro.solvers import dense_solve
+
+
+class TestNucleotideBlock:
+    def test_column_stochastic(self):
+        b = nucleotide_block(0.01, 0.002)
+        np.testing.assert_allclose(b.sum(axis=0), 1.0)
+        assert np.all(b >= 0)
+
+    def test_symmetric(self):
+        b = nucleotide_block(0.03, 0.01)
+        np.testing.assert_allclose(b, b.T)
+
+    def test_transition_vs_transversion_structure(self):
+        """A↔G and C↔U carry alpha; all purine↔pyrimidine pairs beta."""
+        alpha, beta = 0.05, 0.01
+        b = nucleotide_block(alpha, beta)
+        a_idx, g_idx, c_idx, u_idx = range(4)
+        assert NUCLEOTIDE_ORDER == ("A", "G", "C", "U")
+        assert b[g_idx, a_idx] == alpha and b[u_idx, c_idx] == alpha
+        for pur in (a_idx, g_idx):
+            for pyr in (c_idx, u_idx):
+                assert b[pyr, pur] == beta
+                assert b[pur, pyr] == beta
+
+    def test_jukes_cantor_default(self):
+        b = nucleotide_block(0.02)
+        off = b[b != b[0, 0]]
+        np.testing.assert_allclose(off, 0.02)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValidationError):
+            nucleotide_block(-0.1)
+        with pytest.raises(ValidationError):
+            nucleotide_block(0.5, 0.3)  # alpha + 2 beta > 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0, 0.3), st.floats(0, 0.3))
+    def test_always_stochastic_in_valid_range(self, alpha, beta):
+        if alpha + 2 * beta <= 1.0:
+            b = nucleotide_block(alpha, beta)
+            np.testing.assert_allclose(b.sum(axis=0), 1.0)
+
+
+class TestRnaMutation:
+    def test_dimensions(self):
+        q = rna_mutation(length=4, alpha=0.01)
+        assert q.nu == 8 and q.n == 256
+        assert q.group_sizes == (2, 2, 2, 2)
+
+    def test_explicit_blocks(self):
+        blocks = [nucleotide_block(0.01), nucleotide_block(0.02, 0.005)]
+        q = rna_mutation(blocks)
+        assert q.nu == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            rna_mutation([nucleotide_block(0.01)], length=2)
+
+    def test_missing_arguments(self):
+        with pytest.raises(ValidationError):
+            rna_mutation()
+        with pytest.raises(ValidationError):
+            rna_mutation(length=3)
+
+    def test_wrong_block_shape(self):
+        with pytest.raises(ValidationError):
+            rna_mutation([np.eye(2)])
+
+    def test_jukes_cantor_factors_into_binary_sites(self):
+        """With alpha = beta the 4×4 block is NOT a product of two
+        independent binary sites in general... but mass and symmetry
+        invariants still hold; here we check the model against its own
+        dense construction and against two binary sites for the special
+        factorizable case.
+
+        A 4×4 block equals ``s ⊗ s`` for a binary factor
+        ``s = [[1−q, q], [q, 1−q]]`` iff alpha = q(1−q)·... — simplest:
+        build it explicitly and compare.
+        """
+        q_bit = 0.1
+        s = site_factor(q_bit)
+        kron = np.kron(s, s)
+        # kron corresponds to alpha = q(1-q)?? read off the entries:
+        alpha = kron[1, 0]
+        beta = kron[2, 0]
+        blk = nucleotide_block(alpha, beta)
+        # kron has distinct double-flip entry q^2 == beta; single flips
+        # q(1-q) == alpha; check where they coincide:
+        np.testing.assert_allclose(blk[1, 0], kron[1, 0])
+        np.testing.assert_allclose(blk[2, 0], kron[2, 0])
+
+    def test_quasispecies_solve_end_to_end(self):
+        """A 3-nucleotide (ν = 6 bits) quasispecies with a fit wild-type
+        codon: the stationary distribution concentrates on it."""
+        q = rna_mutation(length=3, alpha=0.01, beta=0.002)
+        f = np.ones(q.n)
+        f[0] = 3.0  # AAA codon wild type
+        res = dense_solve(q, TabulatedLandscape(f))
+        assert res.concentrations.argmax() == 0
+        assert res.concentrations[0] > 0.5
+        assert res.eigenvalue < 3.0
+
+    def test_transition_bias_shows_in_distribution(self):
+        """With alpha >> beta, the transition neighbor (A→G at one site)
+        of the wild type is more populated than a transversion
+        neighbor."""
+        q = rna_mutation(length=2, alpha=0.05, beta=0.001)
+        f = np.ones(q.n)
+        f[0] = 3.0
+        res = dense_solve(q, TabulatedLandscape(f))
+        x = res.concentrations
+        # Sequence index: 2 bits per nucleotide, first block = most
+        # significant bits.  Wild type AA = 0b0000.  A->G at the second
+        # (LSB) nucleotide = 0b0001; A->C there = 0b0010.
+        assert x[0b0001] > 5 * x[0b0010]

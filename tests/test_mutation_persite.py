@@ -1,0 +1,128 @@
+"""Tests for per-site mutation processes (Sec. 2.2, first generalization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.mutation import PerSiteMutation, UniformMutation, site_factor
+
+
+class TestSiteFactor:
+    def test_symmetric_default(self):
+        f = site_factor(0.1)
+        np.testing.assert_allclose(f, [[0.9, 0.1], [0.1, 0.9]])
+
+    def test_asymmetric(self):
+        f = site_factor(0.1, 0.3)
+        np.testing.assert_allclose(f, [[0.9, 0.3], [0.1, 0.7]])
+        np.testing.assert_allclose(f.sum(axis=0), 1.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_range_check(self, bad):
+        with pytest.raises(ValidationError):
+            site_factor(bad)
+
+
+class TestConstruction:
+    def test_from_rates(self):
+        q = PerSiteMutation.from_error_rates([0.01, 0.02, 0.03])
+        assert q.nu == 3 and q.n == 8
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            PerSiteMutation([np.array([[0.5, 0.5], [0.6, 0.5]])])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError):
+            PerSiteMutation([np.array([[1.2, 0.0], [-0.2, 1.0]])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            PerSiteMutation([])
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(ValidationError):
+            PerSiteMutation([np.eye(4) ])
+
+
+class TestEquivalenceWithUniform:
+    @pytest.mark.parametrize("nu", [1, 4, 7])
+    def test_uniform_rates_match_uniform_model(self, nu):
+        p = 0.03
+        qa = PerSiteMutation.uniform(nu, p)
+        qb = UniformMutation(nu, p)
+        v = np.random.default_rng(nu).standard_normal(1 << nu)
+        np.testing.assert_allclose(qa.apply(v), qb.apply(v), atol=1e-13)
+        np.testing.assert_allclose(qa.dense(), qb.dense(), atol=1e-14)
+
+
+class TestApply:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(5)
+        q = PerSiteMutation.from_error_rates(rng.uniform(0.001, 0.2, size=6))
+        v = rng.standard_normal(64)
+        np.testing.assert_allclose(q.apply(v), q.dense() @ v, atol=1e-12)
+
+    def test_asymmetric_sites_match_dense(self):
+        factors = [site_factor(0.05, 0.2), site_factor(0.01), site_factor(0.3, 0.1)]
+        q = PerSiteMutation(factors)
+        assert not q.is_symmetric
+        v = np.random.default_rng(0).standard_normal(8)
+        np.testing.assert_allclose(q.apply(v), q.dense() @ v, atol=1e-13)
+
+    def test_site_bit_convention(self):
+        """factors[s] acts on bit s: flipping only site 0 redistributes
+        mass between indices differing in the LSB."""
+        # Site 0 always flips (p=1 both ways); other sites frozen.
+        flip = np.array([[0.0, 1.0], [1.0, 0.0]])
+        frozen = np.eye(2)
+        q = PerSiteMutation([flip, frozen, frozen])
+        v = np.zeros(8)
+        v[0b000] = 1.0
+        out = q.apply(v)
+        expected = np.zeros(8)
+        expected[0b001] = 1.0
+        np.testing.assert_allclose(out, expected, atol=1e-15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 7), st.integers(0, 10_000))
+    def test_mass_preservation(self, nu, seed):
+        rng = np.random.default_rng(seed)
+        factors = []
+        for _ in range(nu):
+            a, b = rng.uniform(0, 1, size=2)
+            factors.append(np.array([[1 - a, b], [a, 1 - b]]))
+        q = PerSiteMutation(factors)
+        v = rng.random(q.n)
+        np.testing.assert_allclose(q.apply(v).sum(), v.sum(), rtol=1e-10)
+
+
+class TestSpectral:
+    def test_eigenvalues_match_dense(self):
+        factors = [site_factor(0.05, 0.2), site_factor(0.1), site_factor(0.3, 0.12)]
+        q = PerSiteMutation(factors)
+        np.testing.assert_allclose(
+            np.sort(q.eigenvalues()), np.sort(np.linalg.eigvals(q.dense()).real), atol=1e-12
+        )
+
+    def test_apply_inverse(self):
+        q = PerSiteMutation.from_error_rates([0.1, 0.05, 0.2, 0.01])
+        v = np.random.default_rng(2).random(16)
+        np.testing.assert_allclose(q.apply_inverse(q.apply(v.copy())), v, atol=1e-11)
+
+    def test_singular_factor_rejected(self):
+        # a + b = 1 makes the 2x2 factor singular
+        q = PerSiteMutation([site_factor(0.5, 0.5)])
+        with pytest.raises(ValidationError):
+            q.apply_inverse(np.ones(2))
+
+    def test_kronecker_factor_order(self):
+        """kronecker_factors() returns paper order: factor 1 = MSB."""
+        f0 = site_factor(0.1)  # bit 0
+        f1 = site_factor(0.2)  # bit 1 (MSB for nu=2)
+        q = PerSiteMutation([f0, f1])
+        kf = q.kronecker_factors()
+        np.testing.assert_allclose(kf[0], f1)
+        np.testing.assert_allclose(np.kron(kf[0], kf[1]), q.dense(), atol=1e-14)

@@ -1,0 +1,146 @@
+"""Tests for the uniform mutation model (Eq. 2 / Eq. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops.popcount import hamming_matrix
+from repro.exceptions import ValidationError
+from repro.mutation import UniformMutation
+from repro.transforms.fwht import fwht_matrix
+
+
+@pytest.fixture
+def q63():
+    return UniformMutation(6, 0.03)
+
+
+class TestConstruction:
+    def test_valid(self):
+        q = UniformMutation(5, 0.01)
+        assert q.n == 32 and q.nu == 5
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            UniformMutation(5, 0.0)
+        with pytest.raises(ValidationError):
+            UniformMutation(5, 0.6)
+
+    def test_invalid_nu(self):
+        with pytest.raises(ValidationError):
+            UniformMutation(0, 0.01)
+
+
+class TestDense:
+    def test_matches_hamming_formula(self, q63):
+        """Q[i,j] = p^dH (1−p)^(ν−dH) — Eq. (2)."""
+        dense = q63.dense()
+        dh = hamming_matrix(6)
+        expected = q63.p**dh * (1 - q63.p) ** (6 - dh)
+        np.testing.assert_allclose(dense, expected, atol=1e-15)
+
+    def test_symmetric(self, q63):
+        dense = q63.dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert q63.is_symmetric
+
+    def test_column_stochastic(self, q63):
+        np.testing.assert_allclose(q63.dense().sum(axis=0), 1.0, atol=1e-12)
+
+    def test_only_nu_plus_one_values(self, q63):
+        assert len(np.unique(np.round(q63.dense(), 14))) == 7
+
+    def test_guard(self):
+        with pytest.raises(ValidationError):
+            UniformMutation(20, 0.01).dense()
+
+
+class TestApply:
+    @pytest.mark.parametrize("nu", [1, 3, 6, 9])
+    def test_matches_dense(self, nu):
+        q = UniformMutation(nu, 0.02)
+        rng = np.random.default_rng(nu)
+        v = rng.standard_normal(q.n)
+        np.testing.assert_allclose(q.apply(v), q.dense() @ v, atol=1e-12)
+
+    def test_in_situ(self, q63):
+        v = np.random.default_rng(0).random(64)
+        expected = q63.apply(v.copy())
+        out = q63.apply(v, out=v)
+        assert out is v
+        np.testing.assert_allclose(v, expected)
+
+    def test_out_buffer(self, q63):
+        v = np.random.default_rng(0).random(64)
+        out = np.empty(64)
+        res = q63.apply(v, out=out)
+        assert res is out
+        np.testing.assert_allclose(out, q63.apply(v))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 8), st.floats(1e-4, 0.5))
+    def test_mass_preservation(self, nu, p):
+        q = UniformMutation(nu, p)
+        v = np.random.default_rng(0).random(q.n)
+        np.testing.assert_allclose(q.apply(v).sum(), v.sum(), rtol=1e-12)
+
+    def test_wrong_length(self, q63):
+        with pytest.raises(ValidationError):
+            q63.apply(np.zeros(63))
+
+
+class TestSpectralStructure:
+    def test_eigendecomposition_via_hadamard(self, q63):
+        """Q = V Λ V with V the Hadamard matrix (paper, Sec. 2)."""
+        v = fwht_matrix(6)
+        lam = np.diag(q63.eigenvalues())
+        np.testing.assert_allclose(v @ lam @ v, q63.dense(), atol=1e-12)
+
+    def test_eigenvalue_multiplicities(self):
+        """(1−2p)^k with multiplicity C(ν,k)."""
+        q = UniformMutation(5, 0.1)
+        vals, counts = np.unique(np.round(q.eigenvalues(), 12), return_counts=True)
+        np.testing.assert_allclose(vals, (1 - 0.2) ** np.arange(5, -1, -1), atol=1e-12)
+        np.testing.assert_array_equal(counts, [1, 5, 10, 10, 5, 1][::-1])
+
+    def test_positive_definite_for_p_below_half(self):
+        q = UniformMutation(6, 0.49)
+        evals = np.linalg.eigvalsh(q.dense())
+        assert evals.min() > 0
+
+    def test_spectral_bounds(self, q63):
+        lo, hi = q63.spectral_bounds()
+        evals = np.linalg.eigvalsh(q63.dense())
+        np.testing.assert_allclose([evals.min(), evals.max()], [lo, hi], atol=1e-12)
+
+    def test_apply_inverse(self, q63):
+        v = np.random.default_rng(1).random(64)
+        np.testing.assert_allclose(q63.apply_inverse(q63.apply(v.copy())), v, atol=1e-10)
+
+    def test_inverse_row_sums(self):
+        """Eq. (12): absolute row sums of Q⁻¹ are (1−2p)^{−ν}."""
+        q = UniformMutation(5, 0.05)
+        qinv = np.linalg.inv(q.dense())
+        np.testing.assert_allclose(
+            np.abs(qinv).sum(axis=1), (1 - 0.1) ** (-5), rtol=1e-10
+        )
+
+    def test_inverse_rejected_at_half(self):
+        q = UniformMutation(3, 0.5)
+        with pytest.raises(ValidationError):
+            q.apply_inverse(np.ones(8))
+
+
+class TestClassValues:
+    def test_formula(self):
+        q = UniformMutation(4, 0.1)
+        k = np.arange(5)
+        np.testing.assert_allclose(q.class_values(), 0.1**k * 0.9 ** (4 - k))
+
+    def test_sum_weighted_by_class_size_is_one(self):
+        """Σ_k C(ν,k)·QΓ_k = (p + (1−p))^ν = 1 — each column sums to 1."""
+        from repro.util.binomial import binomial_row
+
+        q = UniformMutation(12, 0.07)
+        np.testing.assert_allclose((binomial_row(12) * q.class_values()).sum(), 1.0)

@@ -1,0 +1,121 @@
+"""Tests for the truncated-Walsh approximative operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape
+from repro.mutation import PerSiteMutation, UniformMutation
+from repro.operators import Fmmp, TruncatedWalsh
+from repro.solvers import PowerIteration
+from repro.util.binomial import binomial_row
+
+
+@pytest.fixture
+def problem():
+    nu, p = 8, 0.03
+    return UniformMutation(nu, p), RandomLandscape(nu, c=5.0, sigma=1.0, seed=6)
+
+
+class TestConstruction:
+    def test_rank_formula(self, problem):
+        mut, ls = problem
+        op = TruncatedWalsh(mut, ls, 3)
+        assert op.rank == int(binomial_row(8)[:4].sum())
+        assert op.rank == TruncatedWalsh.rank_for_nu(8, 3)
+        assert 0 < op.retained_fraction < 1
+
+    def test_rejects_per_site(self):
+        mut = PerSiteMutation.from_error_rates([0.01, 0.02])
+        ls = RandomLandscape(2, seed=0)
+        with pytest.raises(ValidationError):
+            TruncatedWalsh(mut, ls, 1)
+
+    def test_rejects_bad_kmax(self, problem):
+        mut, ls = problem
+        with pytest.raises(ValidationError):
+            TruncatedWalsh(mut, ls, 9)
+
+
+class TestAccuracy:
+    def test_full_kmax_is_exact(self, problem):
+        mut, ls = problem
+        v = np.random.default_rng(0).random(mut.n)
+        exact = Fmmp(mut, ls).matvec(v)
+        approx = TruncatedWalsh(mut, ls, mut.nu).matvec(v)
+        np.testing.assert_allclose(approx, exact, atol=1e-11)
+        assert TruncatedWalsh(mut, ls, mut.nu).error_bound() == 0.0
+
+    def test_error_within_a_priori_bound(self, problem):
+        """The headline: ‖(Q − Q_k)u‖₂ <= (1−2p)^{k+1}·‖u‖₂ for every
+        k — a certificate Xmvp's truncation lacks."""
+        mut, ls = problem
+        rng = np.random.default_rng(1)
+        u = rng.standard_normal(mut.n)
+        # Compare the *Q parts*: apply with flat landscape to isolate Q.
+        from repro.landscapes import TabulatedLandscape
+
+        flat = TabulatedLandscape(np.ones(mut.n))
+        exact = Fmmp(mut, flat).matvec(u)
+        for k in range(mut.nu):
+            approx = TruncatedWalsh(mut, flat, k).matvec(u)
+            err = np.linalg.norm(approx - exact)
+            bound = TruncatedWalsh(mut, flat, k).error_bound() * np.linalg.norm(u)
+            assert err <= bound * (1 + 1e-12), f"k={k}: {err} > {bound}"
+
+    def test_error_decreases_geometrically(self, problem):
+        mut, ls = problem
+        v = np.random.default_rng(2).random(mut.n)
+        exact = Fmmp(mut, ls).matvec(v)
+        errs = []
+        for k in range(mut.nu + 1):
+            errs.append(np.linalg.norm(TruncatedWalsh(mut, ls, k).matvec(v) - exact))
+        assert all(a >= b - 1e-15 for a, b in zip(errs, errs[1:]))
+        # Roughly geometric with ratio (1−2p).
+        assert errs[4] < errs[0] * (1 - 2 * mut.p) ** 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 8), st.floats(0.01, 0.3))
+    def test_mass_bias_bounded(self, nu, p):
+        """Truncation breaks exact stochasticity only within the bound."""
+        mut = UniformMutation(nu, p)
+        from repro.landscapes import TabulatedLandscape
+
+        flat = TabulatedLandscape(np.ones(1 << nu))
+        op = TruncatedWalsh(mut, flat, max(0, nu - 2))
+        v = np.random.default_rng(0).random(1 << nu)
+        drift = abs(op.matvec(v).sum() - v.sum())
+        assert drift <= op.error_bound() * np.linalg.norm(v) * np.sqrt(1 << nu) + 1e-12
+
+
+class TestInsideSolver:
+    def test_power_iteration_converges_to_nearby_answer(self, problem):
+        mut, ls = problem
+        exact = PowerIteration(Fmmp(mut, ls), tol=1e-12).solve(
+            ls.start_vector(), landscape=ls
+        )
+        approx = PowerIteration(TruncatedWalsh(mut, ls, 5), tol=1e-12).solve(
+            ls.start_vector(), landscape=ls
+        )
+        err = np.abs(approx.concentrations - exact.concentrations).max()
+        bound_scale = TruncatedWalsh(mut, ls, 5).error_bound()
+        assert err < 10 * bound_scale, (err, bound_scale)
+
+    def test_forms_consistent(self, problem):
+        mut, ls = problem
+        v = np.random.default_rng(3).random(mut.n)
+        from repro.operators import dense_w
+
+        for form in ("right", "symmetric", "left"):
+            full = TruncatedWalsh(mut, ls, mut.nu, form=form).matvec(v)
+            np.testing.assert_allclose(full, dense_w(mut, ls, form) @ v, atol=1e-10)
+
+    def test_input_not_mutated(self, problem):
+        mut, ls = problem
+        v = np.random.default_rng(4).random(mut.n)
+        orig = v.copy()
+        for form in ("right", "symmetric", "left"):
+            TruncatedWalsh(mut, ls, 4, form=form).matvec(v)
+            np.testing.assert_array_equal(v, orig)

@@ -1,0 +1,145 @@
+"""Tests for the Wright–Fisher finite-population simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import SinglePeakLandscape
+from repro.mutation import UniformMutation
+from repro.population import WrightFisher
+from repro.solvers import dense_solve
+
+
+@pytest.fixture
+def small_model():
+    nu, p = 6, 0.01
+    return UniformMutation(nu, p), SinglePeakLandscape(nu, 2.0, 1.0)
+
+
+class TestMechanics:
+    def test_population_size_conserved(self, small_model):
+        mut, ls = small_model
+        wf = WrightFisher(mut, ls, 333, seed=0)
+        for _ in range(20):
+            counts = wf.step()
+            assert int(counts.sum()) == 333
+            assert np.all(counts >= 0)
+
+    def test_starts_all_master(self, small_model):
+        mut, ls = small_model
+        wf = WrightFisher(mut, ls, 100, seed=0)
+        assert wf.counts[0] == 100 and wf.counts[1:].sum() == 0
+        assert wf.mean_fitness() == pytest.approx(ls.fmax)
+
+    def test_reset_with_counts(self, small_model):
+        mut, ls = small_model
+        wf = WrightFisher(mut, ls, 10, seed=0)
+        c = np.zeros(mut.n, dtype=np.int64)
+        c[3] = 10
+        wf.reset(c)
+        assert wf.counts[3] == 10
+
+    def test_reset_validation(self, small_model):
+        mut, ls = small_model
+        wf = WrightFisher(mut, ls, 10, seed=0)
+        with pytest.raises(ValidationError):
+            wf.reset(np.zeros(mut.n, dtype=np.int64))  # wrong total
+        with pytest.raises(ValidationError):
+            wf.reset(np.zeros(3, dtype=np.int64))
+
+    def test_reproducible_by_seed(self, small_model):
+        mut, ls = small_model
+        a = WrightFisher(mut, ls, 200, seed=42)
+        b = WrightFisher(mut, ls, 200, seed=42)
+        for _ in range(10):
+            np.testing.assert_array_equal(a.step(), b.step())
+
+    def test_offspring_distribution_normalized(self, small_model):
+        mut, ls = small_model
+        wf = WrightFisher(mut, ls, 50, seed=1)
+        wf.step()
+        pi = wf.offspring_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)
+
+    def test_bad_population_size(self, small_model):
+        mut, ls = small_model
+        with pytest.raises(ValidationError):
+            WrightFisher(mut, ls, 0)
+
+
+class TestInfinitePopulationLimit:
+    def test_large_population_tracks_eigenvector(self, small_model):
+        """Time-averaged frequencies at large M approach the
+        deterministic quasispecies (the Eq. 1 infinite-population
+        limit)."""
+        mut, ls = small_model
+        ref = dense_solve(mut, ls)
+        wf = WrightFisher(mut, ls, 200_000, seed=7)
+        stats = wf.run(300, burn_in=100)
+        # Class-level agreement (per-sequence needs far longer averages).
+        from repro.model.concentrations import class_concentrations
+
+        np.testing.assert_allclose(
+            stats.mean_class_concentrations,
+            class_concentrations(ref.concentrations, mut.nu),
+            atol=0.01,
+        )
+        assert stats.mean_fitness == pytest.approx(ref.eigenvalue, rel=0.02)
+
+    def test_fluctuations_shrink_with_population(self, small_model):
+        """Std of the master frequency scales down with M (≈ M^{-1/2})."""
+        mut, ls = small_model
+
+        def master_std(m, seed):
+            wf = WrightFisher(mut, ls, m, seed=seed)
+            wf.run(50, burn_in=50)  # equilibrate
+            vals = []
+            for _ in range(100):
+                wf.step()
+                vals.append(wf.frequencies[0])
+            return float(np.std(vals))
+
+        small = master_std(500, 3)
+        large = master_std(50_000, 3)
+        assert large < small / 3.0
+
+
+class TestFinitePopulationThreshold:
+    def test_master_survives_below_threshold(self, small_model):
+        mut, ls = small_model  # p = 0.01, threshold ~ ln2/6 ≈ 0.115
+        wf = WrightFisher(mut, ls, 5_000, seed=11)
+        stats = wf.run(200)
+        assert stats.master_extinction_generation is None
+        assert stats.mean_class_concentrations[0] > 0.2
+
+    def test_error_catastrophe_above_threshold(self):
+        """Far above the threshold the master class drowns in mutants."""
+        nu = 6
+        mut = UniformMutation(nu, 0.4)
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        wf = WrightFisher(mut, ls, 2_000, seed=5)
+        stats = wf.run(200, burn_in=50)
+        from repro.model.concentrations import uniform_class_concentrations
+
+        np.testing.assert_allclose(
+            stats.mean_class_concentrations,
+            uniform_class_concentrations(nu),
+            atol=0.05,
+        )
+
+    def test_small_population_loses_master_earlier(self):
+        """Nowak–Schuster: drift in small populations kills the master
+        near the deterministic threshold where large ones keep it."""
+        nu, p = 8, 0.075  # just below ln2/8 ≈ 0.0866
+        mut = UniformMutation(nu, p)
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        extinct_small = 0
+        extinct_large = 0
+        for seed in range(6):
+            small = WrightFisher(mut, ls, 30, seed=seed).run(300)
+            large = WrightFisher(mut, ls, 30_000, seed=seed).run(300)
+            extinct_small += small.master_extinction_generation is not None
+            extinct_large += large.master_extinction_generation is not None
+        assert extinct_small > extinct_large
+        assert extinct_large == 0

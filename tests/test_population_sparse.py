@@ -1,0 +1,113 @@
+"""Tests for the sparse (long-chain) Wright–Fisher simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import SinglePeakLandscape
+from repro.mutation import UniformMutation
+from repro.population import SparseWrightFisher, WrightFisher
+
+
+def single_peak_fitness(seq: int) -> float:
+    return 2.0 if seq == 0 else 1.0
+
+
+class TestMechanics:
+    def test_population_conserved(self):
+        wf = SparseWrightFisher(20, 0.01, single_peak_fitness, 500, seed=0)
+        for _ in range(10):
+            counts = wf.step()
+            assert sum(counts.values()) == 500
+            assert all(c > 0 for c in counts.values())
+
+    def test_reset_default_all_master(self):
+        wf = SparseWrightFisher(30, 0.01, single_peak_fitness, 100, seed=0)
+        assert wf.counts == {0: 100}
+        assert wf.mean_fitness() == 2.0
+        assert wf.mean_distance_to_master() == 0.0
+
+    def test_reset_custom(self):
+        wf = SparseWrightFisher(10, 0.01, single_peak_fitness, 10, seed=0)
+        wf.reset({3: 4, 5: 6})
+        assert wf.support_size == 2
+
+    def test_reset_validation(self):
+        wf = SparseWrightFisher(10, 0.01, single_peak_fitness, 10, seed=0)
+        with pytest.raises(ValidationError):
+            wf.reset({0: 5})  # wrong total
+        with pytest.raises(ValidationError):
+            wf.reset({1 << 10: 10})  # out of range
+
+    def test_reproducible(self):
+        a = SparseWrightFisher(15, 0.02, single_peak_fitness, 200, seed=9)
+        b = SparseWrightFisher(15, 0.02, single_peak_fitness, 200, seed=9)
+        for _ in range(5):
+            assert a.step() == b.step()
+
+    def test_nonpositive_fitness_rejected(self):
+        wf = SparseWrightFisher(8, 0.1, lambda s: 0.0, 10, seed=0)
+        with pytest.raises(ValidationError):
+            wf.step()
+
+    def test_run_summary(self):
+        wf = SparseWrightFisher(12, 0.01, single_peak_fitness, 300, seed=2)
+        stats = wf.run(50)
+        assert stats["generations"] == 50
+        assert 0.0 <= stats["master_fraction"] <= 1.0
+        assert stats["support_size"] >= 1
+
+
+class TestAgreementWithDense:
+    def test_matches_dense_simulator_statistics(self):
+        """At a size where both run, the sparse and dense simulators give
+        the same ensemble means (different samplers ⇒ compare moments)."""
+        nu, p, m = 8, 0.02, 2_000
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        mut = UniformMutation(nu, p)
+
+        dense_g0 = []
+        sparse_g0 = []
+        for seed in range(5):
+            dense = WrightFisher(mut, ls, m, seed=seed)
+            dense.run(100)  # burn-in
+            stats = dense.run(150)
+            dense_g0.append(stats.mean_class_concentrations[0])
+
+            sp = SparseWrightFisher(nu, p, lambda s: 2.0 if s == 0 else 1.0, m, seed=seed)
+            fracs = []
+            for _ in range(100):
+                sp.step()
+            for _ in range(150):
+                sp.step()
+                fracs.append(sp.counts.get(0, 0) / m)
+            sparse_g0.append(float(np.mean(fracs)))
+        assert np.mean(sparse_g0) == pytest.approx(np.mean(dense_g0), abs=0.05)
+
+
+class TestLongChains:
+    def test_nu_50_runs(self):
+        """ν = 50: a 2⁵⁰-dimensional state space, simulated sparsely."""
+        wf = SparseWrightFisher(50, 0.002, single_peak_fitness, 300, seed=1)
+        stats = wf.run(100)
+        assert stats["support_size"] < 300 * 2  # sparse by construction
+        assert stats["master_fraction"] > 0.3  # p well below ln2/50
+
+    def test_error_catastrophe_at_long_chain(self):
+        """Above the threshold (p >> ln2/ν) the master washes out and the
+        population drifts away from it."""
+        nu = 40
+        wf = SparseWrightFisher(nu, 0.05, single_peak_fitness, 300, seed=3)
+        stats = wf.run(150)
+        assert stats["master_fraction"] < 0.05
+        assert stats["mean_distance"] > 2.0
+
+    def test_kronecker_fitness_callable(self):
+        """Fitness callables from implicit landscapes plug in directly."""
+        from repro.landscapes import KroneckerLandscape
+
+        rng = np.random.default_rng(0)
+        kl = KroneckerLandscape([rng.random(1 << 8) + 0.5 for _ in range(4)])  # nu=32
+        wf = SparseWrightFisher(32, 0.002, kl.value_at, 200, seed=4)
+        stats = wf.run(30)
+        assert stats["mean_fitness"] > 0

@@ -1,0 +1,135 @@
+"""Hypothesis property suite on the model's mathematical invariants.
+
+These cut across modules: Perron–Frobenius structure, stochasticity,
+detailed-balance-like symmetries of the reduced matrix, and monotonicity
+of the biology with respect to the model parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.landscapes import RandomLandscape, SinglePeakLandscape, TabulatedLandscape
+from repro.model.concentrations import class_concentrations, participation_ratio
+from repro.mutation import UniformMutation, reduced_mutation_matrix
+from repro.operators import Fmmp
+from repro.solvers import PowerIteration, ReducedSolver, dense_solve
+from repro.util.binomial import binomial_row
+
+common = settings(max_examples=15, deadline=None)
+
+
+class TestPerronStructure:
+    @common
+    @given(st.integers(2, 8), st.floats(1e-3, 0.45), st.integers(0, 10_000))
+    def test_perron_vector_strictly_positive(self, nu, p, seed):
+        mut = UniformMutation(nu, p)
+        ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=seed)
+        res = dense_solve(mut, ls)
+        assert np.all(res.concentrations > 0.0), "Perron vector must be strictly positive"
+
+    @common
+    @given(st.integers(2, 8), st.floats(1e-3, 0.45), st.integers(0, 10_000))
+    def test_eigenvalue_within_norm_bounds(self, nu, p, seed):
+        mut = UniformMutation(nu, p)
+        ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=seed)
+        res = dense_solve(mut, ls)
+        lower = (1.0 - 2.0 * p) ** nu * ls.fmin
+        assert lower - 1e-12 <= res.eigenvalue <= ls.fmax + 1e-12
+
+    @common
+    @given(st.integers(2, 7), st.floats(1e-3, 0.4))
+    def test_w_maps_positive_to_positive(self, nu, p):
+        mut = UniformMutation(nu, p)
+        ls = RandomLandscape(nu, seed=0)
+        op = Fmmp(mut, ls)
+        v = np.random.default_rng(1).random(mut.n) + 0.01
+        assert np.all(op.matvec(v) > 0.0)
+
+    @common
+    @given(st.integers(0, 10_000))
+    def test_start_vector_independence(self, seed):
+        """Power iteration converges to the same Perron vector from any
+        positive start (uniqueness via Perron–Frobenius)."""
+        nu, p = 7, 0.02
+        mut = UniformMutation(nu, p)
+        ls = RandomLandscape(nu, c=5.0, sigma=1.0, seed=5)
+        op = Fmmp(mut, ls)
+        rng = np.random.default_rng(seed)
+        start = rng.random(mut.n) + 0.01
+        a = PowerIteration(op, tol=1e-13).solve(start)
+        b = PowerIteration(op, tol=1e-13).solve(ls.start_vector())
+        np.testing.assert_allclose(a.eigenvector, b.eigenvector, atol=1e-10)
+
+
+class TestMonotonicity:
+    @common
+    @given(st.floats(1.2, 5.0), st.floats(0.1, 2.0))
+    def test_higher_peak_more_master(self, f_peak, delta):
+        """Raising the master's fitness concentrates the population."""
+        nu, p = 8, 0.02
+        low = ReducedSolver(nu, p, SinglePeakLandscape(nu, f_peak, 1.0)).solve()
+        high = ReducedSolver(nu, p, SinglePeakLandscape(nu, f_peak + delta, 1.0)).solve()
+        assert high.concentrations[0] > low.concentrations[0]
+        assert high.eigenvalue > low.eigenvalue
+
+    @common
+    @given(st.floats(0.002, 0.2), st.floats(1.01, 3.0))
+    def test_higher_error_rate_less_master(self, p, ratio):
+        nu = 10
+        ls = SinglePeakLandscape(nu, 2.0, 1.0)
+        lo = ReducedSolver(nu, p, ls).solve()
+        hi = ReducedSolver(nu, min(0.5, p * ratio), ls).solve()
+        assert hi.concentrations[0] <= lo.concentrations[0] + 1e-12
+
+    @common
+    @given(st.floats(0.001, 0.1))
+    def test_flat_landscape_gives_uniform(self, p):
+        """Equal fitness ⇒ bistochastic W ⇒ exactly uniform quasispecies
+        (the paper's 'not at all surprising' special case)."""
+        nu = 6
+        ls = TabulatedLandscape(np.full(1 << nu, 1.7))
+        mut = UniformMutation(nu, p)
+        res = dense_solve(mut, ls)
+        np.testing.assert_allclose(res.concentrations, 1.0 / (1 << nu), atol=1e-12)
+        assert res.eigenvalue == pytest.approx(1.7, rel=1e-12)
+
+
+class TestReducedMatrixSymmetry:
+    @common
+    @given(st.integers(1, 30), st.floats(1e-4, 0.5))
+    def test_flow_balance(self, nu, p):
+        """C(ν,d)·QΓ[d,k] = C(ν,k)·QΓ[k,d]: total probability flow
+        between classes is symmetric because Q itself is symmetric."""
+        q = reduced_mutation_matrix(nu, p)
+        sizes = binomial_row(nu)
+        flow = sizes[:, None] * q
+        np.testing.assert_allclose(flow, flow.T, rtol=1e-9, atol=1e-300)
+
+    @common
+    @given(st.integers(1, 25), st.floats(1e-4, 0.49))
+    def test_stationary_distribution_of_reduced_chain(self, nu, p):
+        """With flat fitness the reduced chain's stationary law is the
+        binomial class-size distribution."""
+        q = reduced_mutation_matrix(nu, p)
+        sizes = binomial_row(nu) / 2.0**nu
+        np.testing.assert_allclose(sizes @ q, sizes, atol=1e-10)
+
+
+class TestConcentrationInvariants:
+    @common
+    @given(st.integers(1, 10), st.integers(0, 10_000))
+    def test_class_concentrations_partition_mass(self, nu, seed):
+        x = np.random.default_rng(seed).random(1 << nu)
+        gamma = class_concentrations(x, nu)
+        assert gamma.sum() == pytest.approx(x.sum(), rel=1e-12)
+        assert gamma.shape == (nu + 1,)
+
+    @common
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    def test_participation_ratio_bounds(self, n_exp, seed):
+        n = 1 << n_exp
+        x = np.random.default_rng(seed).random(n)
+        pr = participation_ratio(x)
+        assert 1.0 - 1e-9 <= pr <= n + 1e-9

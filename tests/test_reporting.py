@@ -1,0 +1,96 @@
+"""Tests for tables and figure-series reporting."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.reporting import FigureSeries, SeriesBundle, format_seconds, format_sci, render_table
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (5e-9, "5.0 ns"),
+            (2.5e-6, "2.5 µs"),
+            (3.2e-3, "3.2 ms"),
+            (1.5, "1.50 s"),
+            (300.0, "5.0 min"),
+        ],
+    )
+    def test_scaling(self, t, expected):
+        assert format_seconds(t) == expected
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_seconds(-1.0)
+
+
+class TestFormatSci:
+    def test_basic(self):
+        assert format_sci(2.07e7) == "2.07e+07"
+        assert format_sci(2.07e7, digits=1) == "2.1e+07"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["nu", "t"], [[10, "1 s"], [20, "2 s"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "nu" in lines[1] and "t" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_left_align(self):
+        out = render_table(["name"], [["x"]], align_right=False)
+        assert out.splitlines()[0].startswith("name")
+        assert out.splitlines()[2].startswith("x")
+
+
+class TestFigureSeries:
+    def test_add_and_mapping(self):
+        s = FigureSeries("a")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.as_mapping() == {1.0: 10.0, 2.0: 20.0}
+        assert len(s) == 2
+
+
+class TestSeriesBundle:
+    def _bundle(self):
+        b = SeriesBundle("Fig X", x_label="nu", y_label="t")
+        s = b.new_series("fmmp")
+        s.add(10, 0.1)
+        s.add(12, 0.4)
+        b.add_mapping("xmvp", {10: 1.0, 14: 16.0})
+        return b
+
+    def test_duplicate_series_rejected(self):
+        b = self._bundle()
+        with pytest.raises(ValidationError):
+            b.new_series("fmmp")
+
+    def test_csv_wide_format(self):
+        csv = self._bundle().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "nu,fmmp,xmvp"
+        assert len(lines) == 4  # header + x = 10, 12, 14
+        assert lines[2].startswith("12.0,0.4,")  # xmvp blank at 12
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        self._bundle().save_csv(str(path))
+        assert path.read_text().startswith("nu,")
+
+    def test_render_contains_all_series(self):
+        out = self._bundle().render()
+        assert "fmmp" in out and "xmvp" in out and "Fig X" in out

@@ -1,0 +1,157 @@
+"""Tests for the Kronecker-decoupled solver (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.bitops.popcount import distance_to_master
+from repro.exceptions import IncompatibleStructureError, ValidationError
+from repro.landscapes import KroneckerLandscape, TabulatedLandscape
+from repro.model.concentrations import class_concentrations
+from repro.mutation import GroupedMutation, PerSiteMutation, UniformMutation, site_factor
+from repro.solvers import KroneckerEigenvector, KroneckerSolver, dense_solve
+
+
+def make_landscape(seed, dims):
+    rng = np.random.default_rng(seed)
+    return KroneckerLandscape([rng.random(d) + 0.5 for d in dims])
+
+
+class TestAgainstFullSolver:
+    @pytest.mark.parametrize("dims", [(2, 2), (4, 8), (2, 4, 2), (8, 8)])
+    def test_uniform_mutation(self, dims):
+        kl = make_landscape(sum(dims), dims)
+        mut = UniformMutation(kl.nu, 0.03)
+        res = KroneckerSolver(mut, kl).solve()
+        full = dense_solve(mut, TabulatedLandscape(kl.values()))
+        assert res.eigenvalue == pytest.approx(full.eigenvalue, rel=1e-11)
+        np.testing.assert_allclose(
+            res.eigenvector.materialize(), full.concentrations, atol=1e-11
+        )
+
+    def test_per_site_mutation(self):
+        kl = make_landscape(9, (4, 4))
+        rates = [0.01, 0.05, 0.02, 0.08]
+        mut = PerSiteMutation.from_error_rates(rates)
+        res = KroneckerSolver(mut, kl).solve()
+        full = dense_solve(mut, TabulatedLandscape(kl.values()))
+        np.testing.assert_allclose(
+            res.eigenvector.materialize(), full.concentrations, atol=1e-11
+        )
+
+    def test_grouped_mutation_matching_groups(self):
+        rng = np.random.default_rng(2)
+        b1 = rng.random((4, 4))
+        b1 /= b1.sum(axis=0, keepdims=True)
+        b2 = rng.random((2, 2))
+        b2 /= b2.sum(axis=0, keepdims=True)
+        mut = GroupedMutation([b1, b2])
+        kl = make_landscape(3, (4, 2))
+        res = KroneckerSolver(mut, kl).solve()
+        full = dense_solve(mut, TabulatedLandscape(kl.values()))
+        np.testing.assert_allclose(
+            res.eigenvector.materialize(), full.concentrations, atol=1e-10
+        )
+
+    def test_grouped_mutation_mismatched_groups_rejected(self):
+        rng = np.random.default_rng(3)
+        b = rng.random((4, 4))
+        b /= b.sum(axis=0, keepdims=True)
+        mut = GroupedMutation([b])  # groups (2,)
+        kl = make_landscape(4, (2, 2))  # groups (1, 1)
+        with pytest.raises(IncompatibleStructureError):
+            KroneckerSolver(mut, kl)
+
+    def test_requires_kronecker_landscape(self):
+        with pytest.raises(ValidationError):
+            KroneckerSolver(UniformMutation(2, 0.1), TabulatedLandscape([1.0, 2.0, 3.0, 4.0]))
+
+
+class TestImplicitEigenvector:
+    @pytest.fixture
+    def solved(self):
+        kl = make_landscape(7, (4, 8, 2))
+        mut = UniformMutation(kl.nu, 0.02)
+        res = KroneckerSolver(mut, kl).solve()
+        full = dense_solve(mut, TabulatedLandscape(kl.values()))
+        return kl, res, full
+
+    def test_value_at(self, solved):
+        kl, res, full = solved
+        for i in (0, 1, 17, 63):
+            assert res.eigenvector.value_at(i) == pytest.approx(
+                full.concentrations[i], rel=1e-10
+            )
+
+    def test_class_concentrations_dp(self, solved):
+        kl, res, full = solved
+        np.testing.assert_allclose(
+            res.eigenvector.class_concentrations(),
+            class_concentrations(full.concentrations, kl.nu),
+            atol=1e-12,
+        )
+
+    def test_class_extrema_dp(self, solved):
+        kl, res, full = solved
+        lo, hi = res.eigenvector.class_extrema()
+        labels = distance_to_master(kl.nu)
+        for k in range(kl.nu + 1):
+            cls = full.concentrations[labels == k]
+            assert lo[k] == pytest.approx(cls.min(), rel=1e-10)
+            assert hi[k] == pytest.approx(cls.max(), rel=1e-10)
+
+    def test_materialize_guard(self):
+        """A ν = 100 eigenvector can be queried but never materialized."""
+        factors = [np.full(1 << 10, 2.0 ** (-10))] * 10
+        vec = KroneckerEigenvector(factors)
+        assert vec.nu == 100
+        assert vec.value_at(0) > 0
+        with pytest.raises(ValidationError):
+            vec.materialize()
+
+    def test_normalization(self, solved):
+        _, res, _ = solved
+        np.testing.assert_allclose(res.eigenvector.class_concentrations().sum(), 1.0)
+
+
+class TestDecouplingScale:
+    def test_nu_24_as_three_groups(self):
+        """The paper's scaling argument: one 2²⁴ problem becomes three
+        2⁸ problems.  Solve and verify internal consistency."""
+        rng = np.random.default_rng(0)
+        diags = [rng.random(1 << 8) + 0.5 for _ in range(3)]
+        kl = KroneckerLandscape(diags)
+        assert kl.nu == 24
+        mut = UniformMutation(24, 0.01)
+        res = KroneckerSolver(mut, kl).solve()
+        assert res.converged
+        # λ0 of W = product of subproblem λ0s; each within (fmin, fmax).
+        for sub, d in zip(res.sub_results, diags):
+            assert d.min() <= sub.eigenvalue <= d.max() + 1e-9
+        gamma = res.eigenvector.class_concentrations()
+        assert gamma.shape == (25,)
+        np.testing.assert_allclose(gamma.sum(), 1.0, atol=1e-9)
+
+    def test_sub_results_exposed(self):
+        kl = make_landscape(11, (4, 4))
+        res = KroneckerSolver(UniformMutation(4, 0.05), kl).solve()
+        assert len(res.sub_results) == 2
+        assert res.converged
+
+
+class TestKroneckerEigenvectorValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            KroneckerEigenvector([np.array([0.5, -0.1])])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValidationError):
+            KroneckerEigenvector([np.zeros(2)])
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            KroneckerEigenvector([np.ones(3)])
+
+    def test_index_range(self):
+        vec = KroneckerEigenvector([np.ones(4)])
+        with pytest.raises(ValidationError):
+            vec.value_at(4)

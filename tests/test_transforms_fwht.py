@@ -1,0 +1,94 @@
+"""Tests for the fast Walsh–Hadamard transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitops.popcount import distance_to_master, hamming_matrix
+from repro.exceptions import ValidationError
+from repro.transforms.fwht import fwht, fwht_inverse, fwht_matrix
+
+
+def vec(n):
+    return hnp.arrays(np.float64, n, elements=st.floats(-100, 100, allow_nan=False))
+
+
+class TestFwhtMatrix:
+    @pytest.mark.parametrize("nu", [1, 2, 3])
+    def test_against_sylvester_construction(self, nu):
+        h = np.array([[1.0, 1.0], [1.0, -1.0]])
+        m = np.array([[1.0]])
+        for _ in range(nu):
+            m = np.kron(m, h)
+        np.testing.assert_allclose(fwht_matrix(nu, ortho=False), m)
+
+    def test_orthogonality(self):
+        v = fwht_matrix(5)
+        np.testing.assert_allclose(v @ v, np.eye(32), atol=1e-12)
+
+    def test_symmetry(self):
+        v = fwht_matrix(4)
+        np.testing.assert_allclose(v, v.T)
+
+    def test_paper_componentwise_formula(self):
+        """(V(ν))_{i,j} = 2^{−ν/2}·(−1)^{(dH(i,0)+dH(j,0)−dH(i,j))/2} (Sec. 2)."""
+        nu = 4
+        d0 = distance_to_master(nu).astype(int)
+        dij = hamming_matrix(nu)
+        expo = (d0[:, None] + d0[None, :] - dij) // 2
+        expected = 2.0 ** (-nu / 2) * np.where(expo % 2 == 0, 1.0, -1.0)
+        np.testing.assert_allclose(fwht_matrix(nu), expected, atol=1e-12)
+
+    def test_guard(self):
+        with pytest.raises(ValidationError):
+            fwht_matrix(0)
+        with pytest.raises(ValidationError):
+            fwht_matrix(15)
+
+
+class TestFwht:
+    @pytest.mark.parametrize("nu", [1, 3, 6])
+    def test_matches_dense(self, nu):
+        rng = np.random.default_rng(nu)
+        v = rng.standard_normal(1 << nu)
+        np.testing.assert_allclose(fwht(v), fwht_matrix(nu) @ v, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 8), st.data())
+    def test_involution_property(self, nu, data):
+        v = data.draw(vec(1 << nu))
+        np.testing.assert_allclose(fwht(fwht(v)), v, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 8), st.data())
+    def test_parseval(self, nu, data):
+        v = data.draw(vec(1 << nu))
+        np.testing.assert_allclose(
+            np.linalg.norm(fwht(v)), np.linalg.norm(v), atol=1e-7 * (1 + np.linalg.norm(v))
+        )
+
+    def test_unnormalized_roundtrip(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(64)
+        np.testing.assert_allclose(fwht_inverse(fwht(v, ortho=False), ortho=False), v, atol=1e-12)
+
+    def test_in_place(self):
+        v = np.arange(8, dtype=float)
+        expected = fwht(v.copy())
+        out = fwht(v, in_place=True)
+        assert out is v
+        np.testing.assert_allclose(v, expected)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            fwht(np.zeros(6))
+
+    def test_rejects_scalar_length(self):
+        with pytest.raises(ValidationError):
+            fwht(np.zeros(1))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            fwht(np.zeros((2, 2)))

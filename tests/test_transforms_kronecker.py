@@ -1,0 +1,99 @@
+"""Tests for the generic Kronecker matvec (Eq. 11 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.transforms.kronecker import kron_diagonal, kron_matvec, kron_vector
+
+
+def dense_kron(factors):
+    m = np.array([[1.0]])
+    for f in factors:
+        m = np.kron(m, f)
+    return m
+
+
+class TestKronMatvec:
+    def test_single_factor_is_plain_matvec(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 4))
+        v = rng.random(4)
+        np.testing.assert_allclose(kron_matvec([a], v), a @ v)
+
+    @pytest.mark.parametrize(
+        "dims", [(2, 2), (2, 3), (4, 2, 3), (2, 2, 2, 2), (8,), (3, 5)]
+    )
+    def test_matches_dense(self, dims):
+        rng = np.random.default_rng(sum(dims))
+        factors = [rng.random((d, d)) for d in dims]
+        v = rng.standard_normal(int(np.prod(dims)))
+        np.testing.assert_allclose(
+            kron_matvec(factors, v), dense_kron(factors) @ v, atol=1e-10
+        )
+
+    def test_identity_factors(self):
+        v = np.arange(12, dtype=float)
+        np.testing.assert_allclose(kron_matvec([np.eye(3), np.eye(4)], v), v)
+
+    def test_msb_convention(self):
+        """Factor 0 acts on the most significant block of the index."""
+        a = np.diag([1.0, 2.0])  # factor on MSB
+        b = np.eye(2)
+        v = np.array([1.0, 1.0, 1.0, 1.0])
+        out = kron_matvec([a, b], v)
+        np.testing.assert_allclose(out, [1.0, 1.0, 2.0, 2.0])
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(ValidationError):
+            kron_matvec([np.eye(2), np.eye(2)], np.zeros(5))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            kron_matvec([np.zeros((2, 3))], np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            kron_matvec([], np.zeros(1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(2, 4), min_size=1, max_size=4), st.integers(0, 10_000))
+    def test_random_shapes_property(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        factors = [rng.standard_normal((d, d)) for d in dims]
+        v = rng.standard_normal(int(np.prod(dims)))
+        np.testing.assert_allclose(
+            kron_matvec(factors, v), dense_kron(factors) @ v, atol=1e-8
+        )
+
+
+class TestKronVector:
+    def test_pair(self):
+        np.testing.assert_allclose(
+            kron_vector([[1.0, 2.0], [3.0, 4.0]]), [3.0, 4.0, 6.0, 8.0]
+        )
+
+    def test_matches_numpy_kron(self):
+        rng = np.random.default_rng(3)
+        vs = [rng.random(3), rng.random(2), rng.random(4)]
+        expected = np.kron(np.kron(vs[0], vs[1]), vs[2])
+        np.testing.assert_allclose(kron_vector(vs), expected)
+
+    def test_diagonal_alias(self):
+        vs = [np.array([1.0, 2.0]), np.array([3.0, 5.0])]
+        np.testing.assert_allclose(kron_diagonal(vs), kron_vector(vs))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            kron_vector([])
+
+    def test_consistency_with_matvec(self):
+        """(A⊗B)(u⊗v) == (Au)⊗(Bv) — the mixed product formula."""
+        rng = np.random.default_rng(9)
+        a, b = rng.random((3, 3)), rng.random((4, 4))
+        u, v = rng.random(3), rng.random(4)
+        lhs = kron_matvec([a, b], kron_vector([u, v]))
+        rhs = kron_vector([a @ u, b @ v])
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)

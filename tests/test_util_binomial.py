@@ -1,0 +1,66 @@
+"""Unit tests for repro.util.binomial."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.util.binomial import binomial, binomial_row, log_binomial
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(20, 10) == 184756
+
+    def test_edges(self):
+        assert binomial(7, 0) == 1
+        assert binomial(7, 7) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, -1) == 0
+        assert binomial(5, 6) == 0
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValidationError):
+            binomial(-1, 0)
+
+    @given(st.integers(0, 60), st.integers(0, 60))
+    def test_matches_math_comb(self, n, k):
+        expected = math.comb(n, k) if k <= n else 0
+        assert binomial(n, k) == expected
+
+
+class TestBinomialRow:
+    def test_row_five(self):
+        np.testing.assert_array_equal(binomial_row(5), [1, 5, 10, 10, 5, 1])
+
+    def test_row_zero(self):
+        np.testing.assert_array_equal(binomial_row(0), [1.0])
+
+    def test_row_sums_to_power_of_two(self):
+        for n in (1, 7, 20, 30):
+            assert binomial_row(n).sum() == 2.0**n
+
+    def test_symmetry(self):
+        row = binomial_row(17)
+        np.testing.assert_array_equal(row, row[::-1])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValidationError):
+            binomial_row(-2)
+
+
+class TestLogBinomial:
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_matches_exact_in_log_space(self, n, k):
+        if k > n:
+            assert log_binomial(n, k) == float("-inf")
+        else:
+            assert log_binomial(n, k) == pytest.approx(math.log(math.comb(n, k)), abs=1e-9)
+
+    def test_out_of_range(self):
+        assert log_binomial(5, -1) == float("-inf")

@@ -1,0 +1,53 @@
+"""Unit tests for repro.util.timing and repro.util.rng."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator
+from repro.util.timing import Timer, median_time
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_zero_before_exit(self):
+        t = Timer()
+        assert t.elapsed == 0.0
+
+
+class TestMedianTime:
+    def test_basic(self):
+        calls = []
+        res = median_time(lambda: calls.append(1), repeats=3, warmup=1)
+        assert res.repeats == 3
+        assert len(res.samples) == 3
+        assert res.minimum <= res.median <= res.maximum
+        # 1 warmup + 3 measured
+        assert len(calls) == 4
+
+    def test_min_time_batches(self):
+        res = median_time(lambda: None, repeats=2, warmup=0, min_time=0.005)
+        assert res.median >= 0.0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: None, repeats=0)
+
+
+class TestAsGenerator:
+    def test_from_int_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.util.validation import (
+    check_chain_length,
+    check_error_rate,
+    check_positive,
+    check_power_of_two,
+    check_probability_vector,
+    check_vector,
+)
+
+
+class TestCheckChainLength:
+    def test_accepts_valid(self):
+        assert check_chain_length(1) == 1
+        assert check_chain_length(25) == 25
+
+    def test_accepts_numpy_integer(self):
+        assert check_chain_length(np.int64(7)) == 7
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValidationError):
+            check_chain_length(0)
+        with pytest.raises(ValidationError):
+            check_chain_length(-3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_chain_length(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_chain_length(3.0)
+
+    def test_rejects_above_limit(self):
+        with pytest.raises(ValidationError, match="safety limit"):
+            check_chain_length(40)
+
+    def test_custom_limit(self):
+        assert check_chain_length(100, max_nu=128) == 100
+
+
+class TestCheckErrorRate:
+    def test_accepts_valid_range(self):
+        assert check_error_rate(0.01) == 0.01
+        assert check_error_rate(0.5) == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_error_rate(0.0)
+
+    def test_allow_zero(self):
+        assert check_error_rate(0.0, allow_zero=True) == 0.0
+
+    def test_rejects_above_half(self):
+        with pytest.raises(ValidationError):
+            check_error_rate(0.500001)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_error_rate(-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_error_rate(float("nan"))
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 1 << 20])
+    def test_valid(self, n):
+        assert check_power_of_two(n) == n
+
+    @pytest.mark.parametrize("n", [0, 3, 6, -4, 1023])
+    def test_invalid(self, n):
+        with pytest.raises(ValidationError):
+            check_power_of_two(n)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_power_of_two(4.0)
+
+
+class TestCheckVector:
+    def test_passthrough_float64(self):
+        v = np.arange(4, dtype=np.float64)
+        out = check_vector(v, 4)
+        np.testing.assert_array_equal(out, v)
+
+    def test_converts_ints(self):
+        out = check_vector(np.array([1, 2, 3, 4]), 4)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            check_vector(np.zeros(3), 4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_vector(np.zeros((2, 2)), 4)
+
+    def test_rejects_complex(self):
+        with pytest.raises(ValidationError):
+            check_vector(np.zeros(4, dtype=complex), 4)
+
+
+class TestCheckProbabilityVector:
+    def test_valid(self):
+        v = np.full(4, 0.25)
+        out = check_probability_vector(v, 4)
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.array([0.5, 0.6, -0.1, 0.0]), 4)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.full(4, 0.3), 4)

@@ -1,0 +1,64 @@
+"""Tests for the cross-solver consistency harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.landscapes import RandomLandscape, SinglePeakLandscape
+from repro.mutation import PerSiteMutation
+from repro.validation import crosscheck
+
+
+class TestCrosscheck:
+    def test_random_landscape_consistent(self):
+        report = crosscheck(RandomLandscape(8, c=5.0, sigma=1.0, seed=2), p=0.01)
+        assert report.consistent
+        labels = [o.label for o in report.outcomes]
+        assert "Pi(Fmmp)" in labels and "Pi(Xmvp(nu))" in labels
+        assert "Dense" in labels  # nu <= 10
+        assert report.max_eigenvalue_spread < 1e-8
+        assert report.max_concentration_spread < 1e-8
+
+    def test_hamming_landscape_includes_reduced(self):
+        report = crosscheck(SinglePeakLandscape(8), p=0.01)
+        assert report.consistent
+        assert any(o.label.startswith("Reduced") for o in report.outcomes)
+
+    def test_per_site_mutation_routes(self):
+        mut = PerSiteMutation.from_error_rates([0.01, 0.03, 0.02, 0.01, 0.02, 0.04])
+        report = crosscheck(RandomLandscape(6, seed=1), mut)
+        assert report.consistent
+        labels = [o.label for o in report.outcomes]
+        assert "Pi(Xmvp(nu))" not in labels, "xmvp needs the uniform model"
+        assert all("shifted" not in lbl for lbl in labels)
+
+    def test_summary_rows_shape(self):
+        report = crosscheck(RandomLandscape(7, seed=3), p=0.02)
+        rows = report.summary_rows()
+        assert len(rows) == len(report.outcomes)
+        assert all(len(r) == 4 for r in rows)
+
+    def test_needs_model_inputs(self):
+        with pytest.raises(ValidationError):
+            crosscheck(RandomLandscape(6, seed=0))  # neither mutation nor p
+
+    def test_large_nu_skips_dense(self):
+        report = crosscheck(RandomLandscape(11, seed=4), p=0.01, tol=1e-10, accept=1e-6)
+        assert report.consistent
+        assert all(o.label != "Dense" for o in report.outcomes)
+
+
+class TestCrosscheckCli:
+    def test_command_runs_consistent(self, capsys):
+        from repro.cli import main
+
+        assert main(["crosscheck", "--nu", "8", "--p", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out and "Pi(Fmmp)" in out
+
+    def test_hamming_landscape_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["crosscheck", "--landscape", "single-peak", "--nu", "8",
+                     "--peak", "2.0"]) == 0
+        assert "Reduced" in capsys.readouterr().out
