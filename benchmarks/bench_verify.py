@@ -1,0 +1,54 @@
+"""Overhead of the differential verification harness itself.
+
+The registry is meant to run after every refactor, so its own cost is
+part of the development-loop budget.  This bench tracks:
+
+* one full-registry spec run (invariants + product + solver tiers),
+* the product-oracle tier alone (the per-commit smoke configuration),
+* whole-grid throughput on the smoke grid.
+
+Timings land in the perf trajectory via ``pytest-benchmark``; the check
+counts are reported so a silently shrinking registry is caught.
+"""
+
+import pytest
+
+from conftest import report
+from repro.reporting import render_table
+from repro.util.rng import as_generator
+from repro.verify import (
+    ProblemSpec,
+    default_registry,
+    run_product_oracles,
+    run_verification,
+)
+
+SPEC = ProblemSpec(nu=6, p=0.03, landscape="random", seed=1)
+
+
+def test_registry_single_spec(benchmark):
+    registry = default_registry()
+    rep = benchmark(lambda: registry.run_spec(SPEC, rng=0))
+    assert rep.passed
+    assert len(rep.checks) >= 15
+
+
+def test_product_tier_only(benchmark):
+    checks = benchmark(lambda: run_product_oracles(SPEC, as_generator(0)))
+    assert all(c.passed for c in checks)
+
+
+def test_smoke_grid_throughput(benchmark):
+    rep = benchmark(lambda: run_verification("smoke"))
+    assert rep.passed
+
+    rows = [
+        ["smoke grid specs", str(len(rep.spec_reports))],
+        ["total checks", str(rep.total_checks)],
+        ["checks per spec", f"{rep.total_checks / len(rep.spec_reports):.1f}"],
+    ]
+    report(
+        "verify_overhead",
+        render_table(["quantity", "value"], rows,
+                     title="verification harness coverage (smoke grid)"),
+    )

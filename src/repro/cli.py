@@ -7,6 +7,10 @@ Subcommands
 ``sweep``
     Error-rate sweep on a Hamming landscape (the Fig. 1 computation),
     optionally exported as CSV.
+``verify``
+    Run the differential verification registry (cross-backend oracles +
+    metamorphic invariants) over a parameter grid; exits nonzero on any
+    violation and writes a machine-readable JSON report.
 ``info``
     Version and a map of the available solvers/landscapes.
 
@@ -123,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--accept", type=float, default=1e-7,
                        help="max allowed cross-route disagreement")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the differential verification registry over a parameter grid",
+    )
+    verify.add_argument(
+        "--grid",
+        choices=("smoke", "small", "full", "random"),
+        default="small",
+        help="named spec grid (see repro.verify.spec)",
+    )
+    verify.add_argument("--nu", type=int, default=6, help="pivot chain length")
+    verify.add_argument("--seed", type=int, default=0, help="probe/grid seed")
+    verify.add_argument("--count", type=int, default=25,
+                        help="spec count for --grid random")
+    verify.add_argument("--no-solvers", action="store_true",
+                        help="skip the solver-oracle tier (products + invariants only)")
+    verify.add_argument("--json", metavar="PATH", default="verify-report.json",
+                        help="where to write the JSON report ('-' for stdout)")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-spec progress lines")
 
     sub.add_parser("info", help="version and capability overview")
     return parser
@@ -264,6 +289,47 @@ def _cmd_crosscheck(args) -> int:
     return 0 if report.consistent else 1
 
 
+def _cmd_verify(args) -> int:
+    import json as _json
+
+    from repro.verify import run_verification
+
+    def progress(done: int, total: int, rep) -> None:
+        if args.quiet:
+            return
+        status = "ok" if rep.passed else f"{len(rep.failures)} FAILED"
+        print(f"[{done:>3}/{total}] {rep.spec.label():<60} {status}")
+
+    report = run_verification(
+        args.grid,
+        nu=args.nu,
+        seed=args.seed,
+        count=args.count,
+        solvers=not args.no_solvers,
+        progress=progress,
+    )
+    if args.json == "-":
+        print(_json.dumps(report.to_dict(), indent=2))
+    elif args.json:
+        from repro.io import save_verification_report
+
+        save_verification_report(args.json, report)
+        if not args.quiet:
+            print(f"wrote {args.json}")
+
+    print(f"\ngrid={report.grid} nu={report.nu} seed={report.seed}: "
+          f"{report.total_checks} checks over {len(report.spec_reports)} specs")
+    if report.passed:
+        print("all invariants and oracle pairs held")
+        return 0
+    print(f"{report.total_failures} check(s) FAILED; violated:")
+    for name in report.violated_names():
+        print(f"  - {name}")
+    for v in report.violations()[:20]:
+        print(f"    {v.describe()}")
+    return 1
+
+
 def _cmd_info() -> int:
     print(f"repro {__version__} — fast quasispecies solver (SC'11 reproduction)")
     print("\nsolvers  : power (Fmmp/Xmvp/Smvp, optional shift), dense, reduced (nu+1),")
@@ -290,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "threshold":
             return _cmd_threshold(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         return _cmd_info()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,5 +1,19 @@
-"""Persistence of solver results and sweeps (NumPy ``.npz`` archives)."""
+"""Persistence of solver results, sweeps, and verification reports."""
 
-from repro.io.results import save_result, load_result, save_sweep, load_sweep
+from repro.io.results import (
+    load_result,
+    load_sweep,
+    load_verification_report,
+    save_result,
+    save_sweep,
+    save_verification_report,
+)
 
-__all__ = ["save_result", "load_result", "save_sweep", "load_sweep"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+    "save_verification_report",
+    "load_verification_report",
+]

@@ -16,7 +16,14 @@ from repro.exceptions import ValidationError
 from repro.model.threshold import ThresholdSweep
 from repro.solvers.result import IterationRecord, SolveResult
 
-__all__ = ["save_result", "load_result", "save_sweep", "load_sweep"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+    "save_verification_report",
+    "load_verification_report",
+]
 
 _RESULT_KIND = "repro.SolveResult.v1"
 _SWEEP_KIND = "repro.ThresholdSweep.v1"
@@ -76,6 +83,31 @@ def load_result(path: str) -> SolveResult:
             method=str(meta["method"]),
             history=history,
         )
+
+
+def save_verification_report(path: str, report) -> None:
+    """Persist a :class:`~repro.verify.report.VerificationReport` as JSON.
+
+    Verification reports are pure scalars/strings, so — unlike solver
+    results — they go to plain, diff-able, CI-greppable JSON rather than
+    an ``.npz`` archive.
+    """
+    data = report.to_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_verification_report(path: str):
+    """Load a report saved by :func:`save_verification_report`."""
+    from repro.verify.report import VerificationReport
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except ValueError as exc:
+        raise ValidationError(f"not a verification report: {exc}") from exc
+    return VerificationReport.from_dict(data)
 
 
 def save_sweep(path: str, sweep: ThresholdSweep) -> None:

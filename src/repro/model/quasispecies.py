@@ -173,7 +173,16 @@ class QuasispeciesModel:
         if method == "auto":
             method = self._auto_method()
             if method == "power" and shift is False and isinstance(self.mutation, UniformMutation):
-                shift = True  # default acceleration in auto mode
+                # Default acceleration in auto mode — except at the fully
+                # degenerate corner p = 0 on a flat landscape, where
+                # W = f_min·I and the conservative shift would annihilate
+                # W exactly (W − μI = 0 has no dominant direction).
+                degenerate = (
+                    self.mutation.p == 0.0
+                    and self.landscape.fmin == self.landscape.fmax
+                )
+                if not degenerate:
+                    shift = True
 
         if method == "kronecker":
             if not isinstance(self.landscape, KroneckerLandscape):

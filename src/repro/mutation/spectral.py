@@ -39,7 +39,7 @@ def uniform_q_eigenvalues(nu: int, p: float) -> np.ndarray:
     also proves ``Q ≻ 0`` for ``p < 1/2`` (paper, Sec. 2).
     """
     nu = check_chain_length(nu)
-    p = check_error_rate(p)
+    p = check_error_rate(p, allow_zero=True)
     return (1.0 - 2.0 * p) ** distance_to_master(nu).astype(np.float64)
 
 
@@ -59,7 +59,7 @@ def apply_uniform_q_spectral(v: np.ndarray, nu: int, p: float) -> np.ndarray:
 
 def apply_uniform_q_inverse(v: np.ndarray, nu: int, p: float) -> np.ndarray:
     """``Q⁻¹ · v`` via the spectral route (requires ``p < 1/2``)."""
-    p = check_error_rate(p)
+    p = check_error_rate(p, allow_zero=True)
     if p >= 0.5:
         raise ValidationError("Q is singular at p = 1/2")
     return solve_shifted_uniform_q(v, nu, p, mu=0.0)
@@ -84,7 +84,7 @@ def solve_shifted_uniform_q(v: np.ndarray, nu: int, p: float, mu: float) -> np.n
         shifted matrix singular.
     """
     nu = check_chain_length(nu)
-    p = check_error_rate(p)
+    p = check_error_rate(p, allow_zero=True)
     v = check_vector(v, 1 << nu, "v")
     lam = uniform_q_eigenvalues(nu, p) - float(mu)
     tiny = np.abs(lam) < 1e-14

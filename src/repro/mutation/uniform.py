@@ -31,7 +31,10 @@ class UniformMutation(MutationModel):
     nu:
         Chain length ``ν``; the model dimension is ``N = 2**ν``.
     p:
-        Per-site error rate, ``0 < p <= 1/2``.
+        Per-site error rate, ``0 <= p <= 1/2``.  ``p = 0`` is the
+        degenerate error-free corner (``Q = I``) and ``p = 1/2`` the
+        maximally-mixing corner (rank-one ``Q``); both are admitted so
+        the verification harness can exercise them.
 
     Examples
     --------
@@ -47,7 +50,7 @@ class UniformMutation(MutationModel):
         # here; only the operations that touch 2**nu-sized data (apply,
         # eigenvalues, dense) enforce the materialization guard.
         self.nu = check_chain_length(nu, max_nu=10_000)
-        self.p = check_error_rate(p)
+        self.p = check_error_rate(p, allow_zero=True)
         self.n = 1 << self.nu
 
     # ----------------------------------------------------------- structure

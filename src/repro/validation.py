@@ -15,10 +15,8 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.landscapes.base import FitnessLandscape
-from repro.model.concentrations import class_concentrations
 from repro.model.quasispecies import QuasispeciesModel
 from repro.mutation.base import MutationModel
-from repro.mutation.uniform import UniformMutation
 
 __all__ = ["crosscheck", "CrosscheckReport", "RouteOutcome"]
 
@@ -70,23 +68,16 @@ class CrosscheckReport:
 
 
 def _routes(model: QuasispeciesModel) -> list[tuple[str, dict]]:
-    """The solver routes applicable to this model's structure."""
-    routes: list[tuple[str, dict]] = [
-        ("Pi(Fmmp)", dict(method="power", operator="fmmp")),
-        ("Pi(Fmmp, shifted)" , dict(method="power", operator="fmmp", shift=True)),
-        ("Lanczos", dict(method="lanczos")),
-        ("Arnoldi", dict(method="arnoldi")),
-    ]
-    if isinstance(model.mutation, UniformMutation):
-        routes.insert(1, ("Pi(Xmvp(nu))", dict(method="power", operator="xmvp")))
-    if model.nu <= 10:
-        routes.append(("Dense", dict(method="dense")))
-    if model.landscape.is_error_class_landscape and isinstance(model.mutation, UniformMutation):
-        routes.append(("Reduced(nu+1)", dict(method="reduced")))
-    # Shift only valid for the uniform model.
-    if not isinstance(model.mutation, UniformMutation):
-        routes = [r for r in routes if "shifted" not in r[0]]
-    return routes
+    """The solver routes applicable to this model's structure.
+
+    Delegates to :func:`repro.verify.oracles.solver_routes` — the single
+    source of truth shared with the verification registry — so the
+    user-facing ``crosscheck`` and ``repro-quasispecies verify`` can
+    never disagree about which routes exist.
+    """
+    from repro.verify.oracles import solver_routes
+
+    return [(r.label, r.kwargs) for r in solver_routes(model)]
 
 
 def crosscheck(
@@ -109,17 +100,14 @@ def crosscheck(
         Maximum allowed spread in eigenvalue and class concentrations
         for the report to be marked ``consistent``.
     """
+    from repro.verify.oracles import _route_gamma
+
     model = QuasispeciesModel(landscape, mutation, p=p)
     report = CrosscheckReport(tolerance=accept)
     for label, kwargs in _routes(model):
         try:
             res = model.solve(tol=tol, **kwargs)
-            conc = res.concentrations
-            gamma = (
-                conc
-                if conc.shape[0] == model.nu + 1
-                else class_concentrations(conc, model.nu)
-            )
+            gamma = _route_gamma(res, model.nu)
             report.outcomes.append(
                 RouteOutcome(
                     label=label,

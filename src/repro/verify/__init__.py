@@ -1,0 +1,85 @@
+"""Differential verification subsystem (cross-backend oracle harness).
+
+This package is the repo's safety net for the paper's exactness claims:
+every solver route, product backend, mutation family, and landscape
+structure is cross-checked against independent implementations and
+against metamorphic identities taken directly from the paper's
+equations.
+
+Layers
+------
+:mod:`repro.verify.spec`
+    Declarative problem specs and named parameter grids.
+:mod:`repro.verify.invariants`
+    The metamorphic invariant catalogue (paper identities as checks).
+:mod:`repro.verify.oracles`
+    Product-tier and solver-tier oracle enumeration.
+:mod:`repro.verify.registry`
+    The :class:`OracleRegistry` combining all three check sources.
+:mod:`repro.verify.runner`
+    Grid runner producing a :class:`VerificationReport`.
+:mod:`repro.verify.report`
+    Machine-readable report containers (JSON round-trip safe).
+
+Entry points: ``repro-quasispecies verify`` (CLI) and the
+``tests/test_verify_*.py`` pytest modules — both drive the same
+registry.
+"""
+
+from repro.verify.invariants import INVARIANTS, Invariant, invariant_names
+from repro.verify.oracles import (
+    ProductOracle,
+    SolverRoute,
+    product_oracles,
+    run_product_oracles,
+    run_solver_oracles,
+    solver_routes,
+)
+from repro.verify.registry import OracleRegistry, default_registry
+from repro.verify.report import (
+    CheckResult,
+    SpecReport,
+    VerificationReport,
+    Violation,
+)
+from repro.verify.runner import run_verification, verify_specs
+from repro.verify.spec import (
+    GRID_NAMES,
+    LANDSCAPE_KINDS,
+    MUTATION_KINDS,
+    ProblemSpec,
+    build_grid,
+    full_grid,
+    random_grid,
+    small_grid,
+    smoke_grid,
+)
+
+__all__ = [
+    "INVARIANTS",
+    "Invariant",
+    "invariant_names",
+    "ProductOracle",
+    "SolverRoute",
+    "product_oracles",
+    "run_product_oracles",
+    "run_solver_oracles",
+    "solver_routes",
+    "OracleRegistry",
+    "default_registry",
+    "CheckResult",
+    "SpecReport",
+    "VerificationReport",
+    "Violation",
+    "run_verification",
+    "verify_specs",
+    "GRID_NAMES",
+    "LANDSCAPE_KINDS",
+    "MUTATION_KINDS",
+    "ProblemSpec",
+    "build_grid",
+    "full_grid",
+    "random_grid",
+    "small_grid",
+    "smoke_grid",
+]

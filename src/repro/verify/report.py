@@ -1,0 +1,185 @@
+"""Machine-readable verification report containers.
+
+The whole harness funnels into three nested dataclasses:
+
+``CheckResult``
+    One invariant or oracle-pair comparison on one problem spec.
+``SpecReport``
+    All checks run against one :class:`~repro.verify.spec.ProblemSpec`.
+``VerificationReport``
+    A whole grid run — what ``repro-quasispecies verify`` serializes to
+    JSON (via :func:`repro.io.save_verification_report`) and what the
+    exit code is derived from.
+
+Every container round-trips through plain dicts (``to_dict`` /
+``from_dict``) so reports survive JSON serialization losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.verify.spec import ProblemSpec
+
+__all__ = ["CheckResult", "SpecReport", "VerificationReport", "Violation"]
+
+#: the three sources a check can come from
+CHECK_KINDS = ("invariant", "product-oracle", "solver-oracle")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one check against one problem spec.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"fmmp-dense-equivalence"`` or
+        ``"oracle-product:fmmp-eq9~distributed"``.
+    kind:
+        ``"invariant"``, ``"product-oracle"``, or ``"solver-oracle"``.
+    passed:
+        Whether the check held within tolerance.
+    error:
+        The measured discrepancy (relative, unless stated in details).
+    tolerance:
+        The acceptance threshold the error was compared against.
+    equation:
+        Paper reference the check encodes (e.g. ``"Eq. 9"``).
+    details:
+        Free-form human-readable context (worst pair, vector index, …).
+    exact:
+        ``True`` for mathematically exact identities (machine-precision
+        tolerance), ``False`` for iteration-tolerance agreements.
+    """
+
+    name: str
+    kind: str
+    passed: bool
+    error: float
+    tolerance: float
+    equation: str = ""
+    details: str = ""
+    exact: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckResult":
+        return cls(**data)
+
+
+@dataclass
+class SpecReport:
+    """All check outcomes for one problem spec."""
+
+    spec: ProblemSpec
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        return [c for c in self.checks if not c.passed]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "passed": self.passed,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpecReport":
+        return cls(
+            spec=ProblemSpec.from_dict(data["spec"]),
+            checks=[CheckResult.from_dict(c) for c in data.get("checks", [])],
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed check, paired with the spec it failed on."""
+
+    spec: ProblemSpec
+    check: CheckResult
+
+    def describe(self) -> str:
+        return (
+            f"{self.check.name} violated on [{self.spec.label()}]: "
+            f"error {self.check.error:.3e} > tol {self.check.tolerance:.1e}"
+            + (f" ({self.check.details})" if self.check.details else "")
+        )
+
+
+@dataclass
+class VerificationReport:
+    """A full verification session over a grid of problem specs."""
+
+    grid: str
+    nu: int
+    seed: int
+    spec_reports: list[SpecReport] = field(default_factory=list)
+
+    # ---------------------------------------------------------- aggregates
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.spec_reports)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(len(r.checks) for r in self.spec_reports)
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(r.failures) for r in self.spec_reports)
+
+    def violations(self) -> list[Violation]:
+        """Every failed check, in grid order."""
+        out: list[Violation] = []
+        for rep in self.spec_reports:
+            out.extend(Violation(rep.spec, c) for c in rep.failures)
+        return out
+
+    def violated_names(self) -> list[str]:
+        """Sorted unique names of violated invariants/oracles — the field
+        the acceptance criterion keys on."""
+        return sorted({v.check.name for v in self.violations()})
+
+    def check_names(self) -> list[str]:
+        """Sorted unique names of every check that ran."""
+        names: set[str] = set()
+        for rep in self.spec_reports:
+            names.update(c.name for c in rep.checks)
+        return sorted(names)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        return {
+            "kind": "repro.VerificationReport.v1",
+            "grid": self.grid,
+            "nu": self.nu,
+            "seed": self.seed,
+            "passed": self.passed,
+            "total_checks": self.total_checks,
+            "total_failures": self.total_failures,
+            "violated": self.violated_names(),
+            "specs": [r.to_dict() for r in self.spec_reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationReport":
+        if data.get("kind") != "repro.VerificationReport.v1":
+            raise ValidationError(
+                f"not a verification report: kind={data.get('kind')!r}"
+            )
+        return cls(
+            grid=str(data["grid"]),
+            nu=int(data["nu"]),
+            seed=int(data["seed"]),
+            spec_reports=[SpecReport.from_dict(s) for s in data.get("specs", [])],
+        )

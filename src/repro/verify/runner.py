@@ -1,0 +1,75 @@
+"""Grid runner: drive the registry over a named parameter grid.
+
+:func:`run_verification` is what both the ``repro-quasispecies verify``
+CLI subcommand and the smoke-tier pytest entry point call.  It returns a
+:class:`~repro.verify.report.VerificationReport`, whose ``passed``
+aggregate determines the process exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.rng import as_generator
+from repro.verify.registry import OracleRegistry, default_registry
+from repro.verify.report import SpecReport, VerificationReport
+from repro.verify.spec import ProblemSpec, build_grid
+
+__all__ = ["run_verification", "verify_specs"]
+
+
+def verify_specs(
+    specs: list[ProblemSpec],
+    *,
+    registry: OracleRegistry | None = None,
+    seed: int = 0,
+    solvers: bool = True,
+    progress: Callable[[int, int, SpecReport], None] | None = None,
+) -> list[SpecReport]:
+    """Run the registry over an explicit spec list."""
+    registry = registry or default_registry()
+    rng = as_generator(seed)
+    reports: list[SpecReport] = []
+    for i, spec in enumerate(specs):
+        rep = registry.run_spec(spec, rng=rng, solvers=solvers)
+        reports.append(rep)
+        if progress is not None:
+            progress(i + 1, len(specs), rep)
+    return reports
+
+
+def run_verification(
+    grid: str = "small",
+    *,
+    nu: int = 6,
+    seed: int = 0,
+    count: int = 25,
+    registry: OracleRegistry | None = None,
+    solvers: bool = True,
+    progress: Callable[[int, int, SpecReport], None] | None = None,
+) -> VerificationReport:
+    """Run the full registry over a named grid.
+
+    Parameters
+    ----------
+    grid:
+        One of :data:`repro.verify.spec.GRID_NAMES`.
+    nu:
+        Pivot chain length for the ``small``/``full`` grids and the upper
+        bound for ``random``.
+    seed:
+        Seed for the probe-vector stream and the ``random`` grid.
+    count:
+        Number of specs for the ``random`` grid.
+    solvers:
+        ``False`` skips the solver-oracle tier (product + invariant
+        tiers only) — the smoke configuration.
+    progress:
+        Optional ``(done, total, spec_report)`` callback, called after
+        each spec finishes (the CLI uses it for live output).
+    """
+    specs = build_grid(grid, nu=nu, count=count, seed=seed)
+    reports = verify_specs(
+        specs, registry=registry, seed=seed, solvers=solvers, progress=progress
+    )
+    return VerificationReport(grid=grid, nu=nu, seed=seed, spec_reports=reports)

@@ -1,0 +1,309 @@
+"""Problem specifications and parameter grids for the verification harness.
+
+A :class:`ProblemSpec` is a *declarative* description of one quasispecies
+problem — chain length, error rate, landscape family, mutation family,
+seed — from which the harness deterministically builds the concrete
+landscape/mutation objects.  Keeping the spec declarative (plain scalars
+and strings) makes verification reports machine-readable and lets the
+same spec be rebuilt identically inside pytest, the CLI, and benchmarks.
+
+Grids
+-----
+:func:`smoke_grid`
+    A handful of specs for the tier-1 CI smoke run (sub-second).
+:func:`small_grid`
+    Every (landscape × mutation) family combination at a few
+    representative ``(ν, p)`` points — the default for
+    ``repro-quasispecies verify``.
+:func:`full_grid`
+    Exhaustive small-ν sweep, degenerate corners (``p = 0``,
+    ``p = 1/2``, flat landscapes, ``ν = 1``) included.
+:func:`random_grid`
+    Seeded random specs for fuzz-style verification sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.landscapes import (
+    HammingLandscape,
+    KroneckerLandscape,
+    LinearLandscape,
+    RandomLandscape,
+    SinglePeakLandscape,
+)
+from repro.landscapes.base import FitnessLandscape
+from repro.mutation import (
+    GroupedMutation,
+    MutationModel,
+    PerSiteMutation,
+    UniformMutation,
+    site_factor,
+)
+from repro.util.rng import as_generator
+from repro.util.validation import check_chain_length, check_error_rate
+
+__all__ = [
+    "LANDSCAPE_KINDS",
+    "MUTATION_KINDS",
+    "ProblemSpec",
+    "split_groups",
+    "smoke_grid",
+    "small_grid",
+    "full_grid",
+    "random_grid",
+    "build_grid",
+    "GRID_NAMES",
+]
+
+LANDSCAPE_KINDS = ("single-peak", "linear", "flat", "random", "kronecker")
+MUTATION_KINDS = ("uniform", "persite", "grouped")
+
+
+def split_groups(nu: int, max_group: int = 3) -> tuple[int, ...]:
+    """Deterministic split of ``ν`` bits into groups of size ≤ ``max_group``.
+
+    Used to give Kronecker landscapes and grouped mutation models a
+    reproducible structure for any chain length.
+    """
+    nu = check_chain_length(nu)
+    if max_group < 1:
+        raise ValidationError(f"max_group must be >= 1, got {max_group}")
+    groups: list[int] = []
+    left = nu
+    while left > 0:
+        g = min(max_group, left)
+        groups.append(g)
+        left -= g
+    return tuple(groups)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One verification problem, fully determined by plain scalars.
+
+    Attributes
+    ----------
+    nu:
+        Chain length ``ν`` (``N = 2**ν``).
+    p:
+        Nominal per-site error rate; per-site/grouped models derive
+        their (seeded) heterogeneous rates from it.
+    landscape:
+        One of :data:`LANDSCAPE_KINDS`.
+    mutation:
+        One of :data:`MUTATION_KINDS`.
+    peak, floor:
+        Master / background fitness used by the structured landscapes.
+    seed:
+        Seed for every random ingredient (random landscape values,
+        per-site rate jitter, grouped-block mixing).
+    """
+
+    nu: int
+    p: float
+    landscape: str = "single-peak"
+    mutation: str = "uniform"
+    peak: float = 2.0
+    floor: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_chain_length(self.nu)
+        check_error_rate(self.p, allow_zero=True)
+        if self.landscape not in LANDSCAPE_KINDS:
+            raise ValidationError(
+                f"landscape must be one of {LANDSCAPE_KINDS}, got {self.landscape!r}"
+            )
+        if self.mutation not in MUTATION_KINDS:
+            raise ValidationError(
+                f"mutation must be one of {MUTATION_KINDS}, got {self.mutation!r}"
+            )
+
+    # --------------------------------------------------------------- label
+    @property
+    def n(self) -> int:
+        return 1 << self.nu
+
+    def label(self) -> str:
+        """Compact human-readable identifier used in reports."""
+        return (
+            f"nu={self.nu} p={self.p:g} landscape={self.landscape} "
+            f"mutation={self.mutation} seed={self.seed}"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProblemSpec":
+        return cls(**data)
+
+    def with_(self, **changes) -> "ProblemSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------ builders
+    def build_landscape(self) -> FitnessLandscape:
+        """Materialize the landscape object this spec describes."""
+        if self.landscape == "single-peak":
+            return SinglePeakLandscape(self.nu, self.peak, self.floor)
+        if self.landscape == "linear":
+            return LinearLandscape(self.nu, self.peak, self.floor)
+        if self.landscape == "flat":
+            # Flat is a (degenerate) error-class landscape: phi(k) = floor.
+            return HammingLandscape(self.nu, [self.floor] * (self.nu + 1))
+        if self.landscape == "random":
+            return RandomLandscape(
+                self.nu,
+                c=max(self.peak, 1.5),
+                sigma=min(1.0, max(self.peak, 1.5) / 3.0),
+                seed=self.seed,
+            )
+        # kronecker
+        rng = as_generator(self.seed)
+        diagonals = [
+            self.floor + (self.peak - self.floor) * rng.random(1 << g) + 0.1
+            for g in split_groups(self.nu)
+        ]
+        return KroneckerLandscape(diagonals)
+
+    def build_mutation(self) -> MutationModel:
+        """Materialize the mutation model this spec describes."""
+        if self.mutation == "uniform":
+            return UniformMutation(self.nu, self.p)
+        rng = as_generator(self.seed + 1)
+        if self.mutation == "persite":
+            factors = []
+            for _ in range(self.nu):
+                p01 = self._jitter_rate(rng)
+                p10 = self._jitter_rate(rng)
+                factors.append(site_factor(p01, p10))
+            return PerSiteMutation(factors)
+        # grouped: per-group blocks = convex mix of a product-of-sites
+        # block with a random column-stochastic matrix, so the blocks are
+        # genuinely non-product (exercising the Kronecker contraction).
+        blocks = []
+        for g in split_groups(self.nu):
+            block = np.ones((1, 1))
+            for _ in range(g):
+                block = np.kron(block, site_factor(self._jitter_rate(rng), self._jitter_rate(rng)))
+            noise = rng.random((1 << g, 1 << g)) + 1e-3
+            noise /= noise.sum(axis=0, keepdims=True)
+            blocks.append(0.9 * block + 0.1 * noise)
+        return GroupedMutation(blocks)
+
+    def _jitter_rate(self, rng: np.random.Generator) -> float:
+        """A per-site rate near ``p`` (equal to ``p`` at the degenerate
+        corners so p = 0 / p = 1/2 stay exactly degenerate)."""
+        if self.p in (0.0, 0.5):
+            return self.p
+        lo = 0.5 * self.p
+        hi = min(0.5, 1.5 * self.p)
+        return float(lo + (hi - lo) * rng.random())
+
+
+# ---------------------------------------------------------------- grids
+def smoke_grid() -> list[ProblemSpec]:
+    """Minimal grid for the tier-1 smoke tier (fast, still crosses every
+    mutation family and the three landscape structure classes)."""
+    return [
+        ProblemSpec(nu=4, p=0.02, landscape="single-peak", mutation="uniform"),
+        ProblemSpec(nu=4, p=0.05, landscape="random", mutation="persite", seed=1),
+        ProblemSpec(nu=4, p=0.03, landscape="kronecker", mutation="grouped", seed=2),
+        ProblemSpec(nu=3, p=0.1, landscape="linear", mutation="uniform"),
+    ]
+
+
+def small_grid(nu: int = 6) -> list[ProblemSpec]:
+    """Every (landscape × mutation) family at representative ``(ν, p)``.
+
+    ``nu`` is the *pivot* chain length; smaller chains (including the
+    degenerate ν = 1) ride along.
+    """
+    nu = check_chain_length(nu)
+    specs: list[ProblemSpec] = []
+    p_values = (0.005, 0.05, 0.25)
+    for landscape in LANDSCAPE_KINDS:
+        for mutation in MUTATION_KINDS:
+            for i, p in enumerate(p_values):
+                specs.append(
+                    ProblemSpec(
+                        nu=nu,
+                        p=p,
+                        landscape=landscape,
+                        mutation=mutation,
+                        seed=i,
+                    )
+                )
+    # Degenerate corners at the pivot size plus tiny chains.
+    specs += [
+        ProblemSpec(nu=nu, p=0.0, landscape="single-peak", mutation="uniform"),
+        ProblemSpec(nu=nu, p=0.5, landscape="single-peak", mutation="uniform"),
+        ProblemSpec(nu=nu, p=0.05, landscape="flat", mutation="uniform"),
+        ProblemSpec(nu=1, p=0.05, landscape="single-peak", mutation="uniform"),
+        ProblemSpec(nu=2, p=0.1, landscape="random", mutation="persite", seed=7),
+    ]
+    return specs
+
+
+def full_grid(nu: int = 6) -> list[ProblemSpec]:
+    """Exhaustive sweep over ν = 1 … ``nu`` and a dense error-rate set."""
+    nu = check_chain_length(nu)
+    specs: list[ProblemSpec] = []
+    p_values = (0.0, 0.001, 0.01, 0.05, 0.15, 0.3, 0.45, 0.5)
+    for chain in range(1, nu + 1):
+        for landscape in LANDSCAPE_KINDS:
+            for mutation in MUTATION_KINDS:
+                for i, p in enumerate(p_values):
+                    specs.append(
+                        ProblemSpec(
+                            nu=chain,
+                            p=p,
+                            landscape=landscape,
+                            mutation=mutation,
+                            seed=i + chain,
+                        )
+                    )
+    return specs
+
+
+def random_grid(count: int = 25, *, nu: int = 8, seed: int = 0) -> list[ProblemSpec]:
+    """``count`` seeded random specs with ν ≤ ``nu``."""
+    if count < 1:
+        raise ValidationError(f"count must be >= 1, got {count}")
+    rng = as_generator(seed)
+    specs = []
+    for i in range(count):
+        specs.append(
+            ProblemSpec(
+                nu=int(rng.integers(1, nu + 1)),
+                p=float(rng.uniform(1e-4, 0.5)),
+                landscape=str(rng.choice(LANDSCAPE_KINDS)),
+                mutation=str(rng.choice(MUTATION_KINDS)),
+                peak=float(rng.uniform(1.5, 6.0)),
+                floor=1.0,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return specs
+
+
+GRID_NAMES = ("smoke", "small", "full", "random")
+
+
+def build_grid(name: str, *, nu: int = 6, count: int = 25, seed: int = 0) -> list[ProblemSpec]:
+    """Build a named grid (``smoke``/``small``/``full``/``random``)."""
+    if name == "smoke":
+        return smoke_grid()
+    if name == "small":
+        return small_grid(nu)
+    if name == "full":
+        return full_grid(nu)
+    if name == "random":
+        return random_grid(count, nu=nu, seed=seed)
+    raise ValidationError(f"unknown grid {name!r}; expected one of {GRID_NAMES}")

@@ -110,3 +110,55 @@ class TestInfoCommand:
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "Fmmp" in out and "landscapes" in out
+
+
+class TestVerifyCommand:
+    def test_smoke_grid_passes_and_writes_json(self, capsys, tmp_path):
+        path = str(tmp_path / "report.json")
+        assert main(["verify", "--grid", "smoke", "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants and oracle pairs held" in out
+        from repro.io import load_verification_report
+
+        report = load_verification_report(path)
+        assert report.passed and report.grid == "smoke"
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["verify", "--grid", "smoke", "--no-solvers",
+                     "--quiet", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "repro.VerificationReport.v1"' in out
+
+    def test_progress_lines(self, capsys):
+        assert main(["verify", "--grid", "smoke", "--no-solvers",
+                     "--json", ""]) == 0
+        out = capsys.readouterr().out
+        assert "[  1/" in out and "ok" in out
+
+    def test_random_grid_with_count(self, capsys):
+        assert main(["verify", "--grid", "random", "--count", "3", "--nu", "4",
+                     "--no-solvers", "--quiet", "--json", ""]) == 0
+        assert "3 specs" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_and_names_invariant(self, capsys, monkeypatch):
+        from repro.operators.fmmp import Fmmp
+
+        original = Fmmp.matvec
+
+        def broken(self, v):
+            out = original(self, v)
+            out[-1] = -out[-1]
+            return out
+
+        monkeypatch.setattr(Fmmp, "matvec", broken)
+        code = main(["verify", "--grid", "smoke", "--no-solvers",
+                     "--quiet", "--json", ""])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "fmmp-dense-equivalence" in out
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.grid == "small" and args.nu == 6
+        assert args.json == "verify-report.json"

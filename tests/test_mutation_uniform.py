@@ -23,9 +23,14 @@ class TestConstruction:
 
     def test_invalid_p(self):
         with pytest.raises(ValidationError):
-            UniformMutation(5, 0.0)
+            UniformMutation(5, -0.01)
         with pytest.raises(ValidationError):
             UniformMutation(5, 0.6)
+
+    def test_error_free_corner_is_identity(self):
+        # p = 0 is admitted (error-free replication): Q = I exactly.
+        q = UniformMutation(3, 0.0)
+        np.testing.assert_array_equal(q.dense(), np.eye(8))
 
     def test_invalid_nu(self):
         with pytest.raises(ValidationError):

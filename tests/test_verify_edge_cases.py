@@ -1,0 +1,172 @@
+"""Regression tests for degenerate inputs surfaced while wiring the
+verification registry.
+
+Paper corners: ``p = 0`` (error-free replication, ``Q = I``),
+``p = 1/2`` (maximal mixing, rank-one ``Q``), flat landscapes
+(``f_i = c``), and the one-bit chain ``nu = 1``.  Each must either solve
+correctly or raise a *typed* ``repro.exceptions`` error — never a bare
+``ZeroDivisionError``/``LinAlgError`` or a silent wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ReproError, ValidationError
+from repro.landscapes import HammingLandscape, SinglePeakLandscape
+from repro.model import QuasispeciesModel
+from repro.mutation import UniformMutation
+from repro.mutation.spectral import (
+    apply_uniform_q_spectral,
+    solve_shifted_uniform_q,
+    uniform_q_eigenvalues,
+)
+from repro.verify import ProblemSpec, default_registry
+from repro.verify.oracles import run_solver_oracles
+
+
+def flat(nu: int, c: float = 1.0) -> HammingLandscape:
+    return HammingLandscape(nu, [c] * (nu + 1))
+
+
+class TestErrorFreeCorner:
+    """p = 0: Q = I, W = F — the quasispecies is the fittest genotype."""
+
+    def test_uniform_mutation_accepts_p_zero(self):
+        q = UniformMutation(4, 0.0)
+        v = np.arange(16, dtype=float)
+        np.testing.assert_array_equal(q.apply(v.copy()), v)
+        np.testing.assert_array_equal(q.dense(), np.eye(16))
+
+    def test_solve_concentrates_on_the_peak(self):
+        model = QuasispeciesModel(SinglePeakLandscape(5, 2.0, 1.0), p=0.0)
+        res = model.solve()
+        assert res.eigenvalue == pytest.approx(2.0, abs=1e-12)
+        gamma = model.class_concentrations(res)
+        assert gamma[0] == pytest.approx(1.0, abs=1e-10)
+
+    def test_spectral_helpers_accept_p_zero(self):
+        lam = uniform_q_eigenvalues(3, 0.0)
+        np.testing.assert_array_equal(lam, np.ones(8))
+        v = np.arange(8, dtype=float)
+        np.testing.assert_allclose(apply_uniform_q_spectral(v, 3, 0.0), v, atol=1e-12)
+        # (I - mu)^{-1} v with mu = -1  ->  v / 2
+        np.testing.assert_allclose(
+            solve_shifted_uniform_q(v, 3, 0.0, mu=-1.0), v / 2.0, atol=1e-12
+        )
+
+    def test_shift_at_eigenvalue_raises_typed_error(self):
+        with pytest.raises(ValidationError):
+            solve_shifted_uniform_q(np.ones(8), 3, 0.0, mu=1.0)
+
+
+class TestMaximalMixingCorner:
+    """p = 1/2: Q = J/N — one generation erases all genetic memory."""
+
+    def test_solve_succeeds(self):
+        model = QuasispeciesModel(SinglePeakLandscape(4, 2.0, 1.0), p=0.5)
+        res = model.solve()
+        assert res.eigenvalue > 0
+        gamma = model.class_concentrations(res)
+        # Uniform over genotypes => binomial over error classes.
+        from repro.util.binomial import binomial_row
+
+        np.testing.assert_allclose(gamma, binomial_row(4) / 16.0, atol=1e-9)
+
+    def test_inverse_raises_typed_error(self):
+        with pytest.raises(ValidationError):
+            UniformMutation(3, 0.5).apply_inverse(np.ones(8))
+
+    def test_registry_passes_at_half(self):
+        spec = ProblemSpec(nu=4, p=0.5)
+        rep = default_registry().run_spec(spec)
+        assert rep.passed, [c.name for c in rep.failures]
+
+
+class TestFlatLandscape:
+    """f_i = c: W = c·Q — stationary state is Q's Perron vector."""
+
+    def test_solve_is_uniform(self):
+        model = QuasispeciesModel(flat(4, 3.0), p=0.1)
+        res = model.solve()
+        assert res.eigenvalue == pytest.approx(3.0, abs=1e-10)
+        gamma = model.class_concentrations(res)
+        from repro.util.binomial import binomial_row
+
+        np.testing.assert_allclose(gamma, binomial_row(4) / 16.0, atol=1e-9)
+
+    def test_registry_passes_on_flat(self):
+        rep = default_registry().run_spec(ProblemSpec(nu=4, p=0.05, landscape="flat"))
+        assert rep.passed, [c.name for c in rep.failures]
+
+
+class TestFullyDegenerateCorner:
+    """p = 0 AND flat: W = c·I.  Every distribution is stationary; the
+    eigenvalue is well-defined, the eigenvector direction is not."""
+
+    def test_auto_solve_succeeds_without_shift(self):
+        model = QuasispeciesModel(flat(4), p=0.0)
+        res = model.solve()
+        assert res.eigenvalue == pytest.approx(1.0, abs=1e-12)
+
+    def test_power_auto_does_not_auto_shift(self):
+        model = QuasispeciesModel(flat(4), p=0.0)
+        res = model.solve("power")
+        assert res.converged
+        assert res.eigenvalue == pytest.approx(1.0, abs=1e-12)
+
+    def test_explicit_shift_raises_typed_error(self):
+        # W - mu·I = 0 exactly: the shifted operator annihilates every
+        # vector, which must surface as a typed convergence error.
+        model = QuasispeciesModel(flat(4), p=0.0)
+        with pytest.raises(ConvergenceError):
+            model.solve("power", shift=True)
+
+    def test_solver_oracles_compare_eigenvalues_only(self):
+        checks = run_solver_oracles(ProblemSpec(nu=3, p=0.0, landscape="flat"))
+        assert checks, "routes must still be compared"
+        assert all(c.passed for c in checks), [c.name for c in checks if not c.passed]
+        assert any("eigenvalue only" in c.details for c in checks)
+
+
+class TestOneBitChain:
+    """nu = 1: N = 2, the smallest admissible model."""
+
+    def test_solve_matches_dense_2x2(self):
+        model = QuasispeciesModel(SinglePeakLandscape(1, 2.0, 1.0), p=0.05)
+        res = model.solve()
+        w = np.array([[0.95 * 2.0, 0.05 * 1.0], [0.05 * 2.0, 0.95 * 1.0]])
+        lam = np.linalg.eigvals(w).real.max()
+        assert res.eigenvalue == pytest.approx(lam, rel=1e-10)
+
+    def test_registry_passes_at_nu_one(self):
+        rep = default_registry().run_spec(ProblemSpec(nu=1, p=0.05))
+        assert rep.passed, [c.name for c in rep.failures]
+
+    def test_nu_zero_rejected_with_typed_error(self):
+        with pytest.raises(ReproError):
+            UniformMutation(0, 0.1)
+        with pytest.raises(ReproError):
+            ProblemSpec(nu=0, p=0.1)
+
+
+class TestSpecValidation:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            ProblemSpec(nu=4, p=0.7)
+        with pytest.raises(ValidationError):
+            ProblemSpec(nu=4, p=-0.1)
+
+    def test_bad_families_rejected(self):
+        with pytest.raises(ValidationError):
+            ProblemSpec(nu=4, p=0.1, landscape="volcano")
+        with pytest.raises(ValidationError):
+            ProblemSpec(nu=4, p=0.1, mutation="quantum")
+
+    def test_degenerate_corners_stay_exact_in_derived_models(self):
+        # Per-site jitter must collapse to exactly p at the corners so
+        # p = 0 / p = 1/2 remain exactly degenerate for derived models.
+        for p in (0.0, 0.5):
+            spec = ProblemSpec(nu=3, p=p, mutation="persite", landscape="random")
+            mutation = spec.build_mutation()
+            for factor in mutation.factors_per_bit():
+                assert factor[1, 0] == p and factor[0, 1] == p
