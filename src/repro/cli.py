@@ -11,6 +11,10 @@ Subcommands
     Run the differential verification registry (cross-backend oracles +
     metamorphic invariants) over a parameter grid; exits nonzero on any
     violation and writes a machine-readable JSON report.
+``batch``
+    Execute a JSON/YAML job manifest through the solver service layer
+    (deduplication, content-addressed result cache, fault-tolerant
+    worker pool) and write a machine-readable batch report.
 ``info``
     Version and a map of the available solvers/landscapes.
 
@@ -148,6 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where to write the JSON report ('-' for stdout)")
     verify.add_argument("--quiet", action="store_true",
                         help="suppress per-spec progress lines")
+
+    batch = sub.add_parser(
+        "batch",
+        help="execute a JSON/YAML job manifest through the solver service",
+    )
+    batch.add_argument("manifest", help="path to the job manifest (.json/.yaml)")
+    batch.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent result-cache directory (warm restarts)")
+    batch.add_argument("--workers", type=int, help="worker count")
+    batch.add_argument("--pool", choices=("thread", "process", "serial"),
+                       dest="pool_kind", help="worker pool kind")
+    batch.add_argument("--timeout", type=float, help="per-attempt timeout [s]")
+    batch.add_argument("--retries", type=int, help="retries per route")
+    batch.add_argument("--json", metavar="PATH", default="batch-report.json",
+                       help="where to write the JSON report ('-' for stdout)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress the per-job table")
 
     sub.add_parser("info", help="version and capability overview")
     return parser
@@ -330,6 +351,63 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_batch(args) -> int:
+    import json as _json
+
+    from repro.service import run_manifest
+
+    report = run_manifest(
+        args.manifest,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        kind=args.pool_kind,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    if not args.quiet:
+        rows = []
+        for i in range(report.n_jobs):
+            job, result, tele = report.entry(i)
+            rows.append([
+                i,
+                job.label(),
+                tele.cache if tele.status == "cached" else tele.status,
+                tele.route,
+                f"{result.eigenvalue:.8f}" if result is not None else "-",
+                f"{tele.solve_seconds * 1e3:.1f}" if tele.status == "solved" else "-",
+            ])
+        print(
+            render_table(
+                ["#", "job", "status", "route", "lambda_0", "ms"],
+                rows,
+                title=f"batch: {args.manifest}",
+            )
+        )
+    if args.json == "-":
+        print(_json.dumps(report.to_dict(), indent=2))
+    elif args.json:
+        from repro.io import save_batch_report
+
+        save_batch_report(args.json, report)
+        if not args.quiet:
+            print(f"wrote {args.json}")
+
+    if not args.quiet:
+        plan = report.plan_stats
+        print(
+            f"\n{plan['jobs']} job(s): {plan['unique_jobs']} unique "
+            f"({plan['duplicates']} duplicate(s)), {report.n_cached} cache hit(s), "
+            f"{report.n_solved} solved, {report.n_fallbacks} via fallback, "
+            f"{report.n_failed} failed [{report.wall_seconds:.2f}s]"
+        )
+        failures = report.failures()
+        if failures:
+            print("failures encountered (recovered unless the job is marked failed):")
+            for msg in failures[:20]:
+                print(f"  - {msg}")
+    return 0 if report.passed else 1
+
+
 def _cmd_info() -> int:
     print(f"repro {__version__} — fast quasispecies solver (SC'11 reproduction)")
     print("\nsolvers  : power (Fmmp/Xmvp/Smvp, optional shift), dense, reduced (nu+1),")
@@ -358,6 +436,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_threshold(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         return _cmd_info()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,9 +1,13 @@
-"""Persistence of solver results, sweeps, and verification reports."""
+"""Persistence of solver results, sweeps, verification and batch reports."""
 
 from repro.io.results import (
+    load_batch_report,
+    load_job_result,
     load_result,
     load_sweep,
     load_verification_report,
+    save_batch_report,
+    save_job_result,
     save_result,
     save_sweep,
     save_verification_report,
@@ -16,4 +20,8 @@ __all__ = [
     "load_sweep",
     "save_verification_report",
     "load_verification_report",
+    "save_job_result",
+    "load_job_result",
+    "save_batch_report",
+    "load_batch_report",
 ]

@@ -23,10 +23,15 @@ __all__ = [
     "load_sweep",
     "save_verification_report",
     "load_verification_report",
+    "save_job_result",
+    "load_job_result",
+    "save_batch_report",
+    "load_batch_report",
 ]
 
 _RESULT_KIND = "repro.SolveResult.v1"
 _SWEEP_KIND = "repro.ThresholdSweep.v1"
+_JOB_RESULT_KIND = "repro.JobResult.v1"
 
 
 def save_result(path: str, result: SolveResult) -> None:
@@ -108,6 +113,70 @@ def load_verification_report(path: str):
     except ValueError as exc:
         raise ValidationError(f"not a verification report: {exc}") from exc
     return VerificationReport.from_dict(data)
+
+
+def save_job_result(path: str, result) -> None:
+    """Persist a :class:`~repro.service.jobspec.JobResult` (``.npz``).
+
+    This is the on-disk payload of the service result cache — one small
+    archive per content hash: the ν+1 class concentrations natively,
+    scalars through the JSON side channel (including the solve
+    tolerance, which the cache's tolerance-aware lookup inspects).
+    """
+    meta = {
+        "kind": _JOB_RESULT_KIND,
+        "eigenvalue": result.eigenvalue,
+        "iterations": result.iterations,
+        "residual": result.residual,
+        "converged": bool(result.converged),
+        "method": result.method,
+        "tol": result.tol,
+    }
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        concentrations=np.asarray(result.concentrations, dtype=np.float64),
+    )
+
+
+def load_job_result(path: str):
+    """Load a job result saved by :func:`save_job_result`."""
+    from repro.service.jobspec import JobResult
+
+    with np.load(path) as archive:
+        meta = _read_meta(archive, _JOB_RESULT_KIND)
+        return JobResult(
+            eigenvalue=float(meta["eigenvalue"]),
+            concentrations=archive["concentrations"].copy(),
+            method=str(meta["method"]),
+            iterations=int(meta["iterations"]),
+            residual=float(meta["residual"]),
+            converged=bool(meta["converged"]),
+            tol=float(meta["tol"]),
+        )
+
+
+def save_batch_report(path: str, report) -> None:
+    """Persist a :class:`~repro.service.service.BatchReport` as JSON.
+
+    Batch reports — like verification reports — are scalars and strings
+    all the way down, so they go to diff-able JSON rather than ``.npz``.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_batch_report(path: str):
+    """Load a report saved by :func:`save_batch_report`."""
+    from repro.service.service import BatchReport
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except ValueError as exc:
+        raise ValidationError(f"not a batch report: {exc}") from exc
+    return BatchReport.from_dict(data)
 
 
 def save_sweep(path: str, sweep: ThresholdSweep) -> None:

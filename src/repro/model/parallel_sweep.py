@@ -1,40 +1,34 @@
-"""Process-parallel error-rate sweeps.
+"""Process-parallel error-rate sweeps, served by the solver service.
 
 A Fig. 1-style sweep solves one independent eigenproblem per grid point
-— embarrassingly parallel.  This module fans the grid out over a
-process pool (sidestepping the GIL for the dense LAPACK work inside the
-reduced solver) and reassembles the
-:class:`~repro.model.threshold.ThresholdSweep`.
+— embarrassingly parallel, and exactly the workload the service layer
+(:mod:`repro.service`) exists for.  The grid points become
+content-addressed reduced :class:`~repro.service.jobspec.SolveJob`
+requests: the scheduler dedups repeated error rates, the pool fans the
+solves out over processes (sidestepping the GIL for the dense LAPACK
+work inside the reduced solver), and the result cache makes re-sweeps
+with overlapping grids free.
 
 Only picklable primitives cross the process boundary (``nu``, ``p``,
 the ν+1 class-fitness values), so any Hamming-structured landscape
-works regardless of how it was constructed.
+works regardless of how it was constructed.  Results are bit-identical
+to the serial :func:`repro.model.threshold.sweep_error_rates` path —
+the reduced worker route runs the very same
+:class:`~repro.solvers.reduced.ReducedSolver` call (asserted in the
+regression tests).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.landscapes.base import FitnessLandscape
 from repro.model.threshold import ThresholdSweep, detect_error_threshold
-from repro.solvers.reduced import ReducedSolver
 
 __all__ = ["parallel_sweep_error_rates"]
-
-
-def _solve_point(args: tuple[int, float, np.ndarray]) -> np.ndarray:
-    """Worker: one reduced solve → class concentrations (module-level so
-    it pickles under the spawn start method)."""
-    nu, p, class_values = args
-    if p == 0.0:
-        row = np.zeros(nu + 1)
-        row[int(np.argmax(class_values))] = 1.0
-        return row
-    return ReducedSolver(nu, float(p), np.asarray(class_values)).solve().concentrations
 
 
 def parallel_sweep_error_rates(
@@ -55,8 +49,13 @@ def parallel_sweep_error_rates(
         Increasing grid of error rates.
     max_workers:
         Process count (default: ``os.cpu_count()``, capped at the number
-        of grid points).
+        of grid points; 1 runs in-line with no pool).
     """
+    # Deferred import: repro.model is imported by the service layer's
+    # own dependencies, so binding at call time keeps the import graph
+    # acyclic.
+    from repro.service import SolveJob, SolverService
+
     if not landscape.is_error_class_landscape:
         raise ValidationError("parallel sweep needs a Hamming-distance landscape")
     rates = np.asarray(error_rates, dtype=np.float64).reshape(-1)
@@ -67,17 +66,47 @@ def parallel_sweep_error_rates(
     workers = max_workers or os.cpu_count() or 1
     workers = max(1, min(int(workers), rates.size))
 
-    jobs = [(nu, float(p), class_values) for p in rates]
-    if workers == 1:
-        results = [_solve_point(j) for j in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_solve_point, jobs, chunksize=max(1, len(jobs) // (4 * workers))))
+    rows: dict[int, np.ndarray] = {}
+    jobs: list = []
+    job_rows: list[int] = []
+    for i, p in enumerate(rates):
+        if p == 0.0:
+            # Error-free corner: the quasispecies is the delta on the
+            # fittest class (no solve needed; matches the serial path).
+            row = np.zeros(nu + 1)
+            row[int(np.argmax(class_values))] = 1.0
+            rows[i] = row
+            continue
+        jobs.append(
+            SolveJob(
+                nu=nu,
+                p=float(p),
+                landscape="hamming",
+                class_values=tuple(float(v) for v in class_values),
+                method="reduced",
+            )
+        )
+        job_rows.append(i)
+
+    if jobs:
+        service = SolverService(
+            workers=workers,
+            kind="serial" if workers == 1 else "process",
+            retries=1,
+            capacity=max(1, len(jobs)),
+        )
+        report = service.submit(jobs)
+        if not report.passed:
+            raise ValidationError(
+                "sweep jobs failed: " + "; ".join(report.failures())
+            )
+        for i, result in zip(job_rows, report.results):
+            rows[i] = result.concentrations
 
     sweep = ThresholdSweep(
         nu=nu,
         error_rates=rates,
-        class_concentrations=np.vstack(results),
+        class_concentrations=np.vstack([rows[i] for i in range(rates.size)]),
         landscape_name=type(landscape).__name__,
     )
     sweep.p_max = detect_error_threshold(sweep)

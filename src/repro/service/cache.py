@@ -1,0 +1,202 @@
+"""Content-addressed result cache: in-memory LRU + optional disk store.
+
+Real quasispecies workloads are dominated by dense parameter sweeps
+over (ν, p, landscape) grids in which many requests are exact
+duplicates — an error-threshold scan re-run with one extra grid point
+repeats every previous solve.  The cache makes those repeats free:
+
+* **Keying** — entries are filed under
+  :meth:`repro.service.jobspec.SolveJob.cache_key`, a deterministic
+  content hash of the problem *and* route but **not** the accuracy
+  knobs.
+* **Tolerance-aware lookup** — a cached solve performed at tolerance
+  ``t`` satisfies any request with ``tol >= t`` (a tighter solve is a
+  strictly better answer).  A looser cached solve never masks a tighter
+  request; the tighter solve then *replaces* the looser entry.
+* **LRU accounting** — bounded in-memory capacity with
+  least-recently-used eviction; every hit/miss/eviction/store is
+  counted in :class:`CacheStats` for the batch reports.
+* **Disk tier** — an optional directory of one ``.npz`` archive per
+  content hash (via :func:`repro.io.save_job_result`), giving warm
+  restarts across processes: re-running a manifest against a warm disk
+  cache performs zero new solves.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.service.jobspec import JobResult, SolveJob
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: cache-status labels used in telemetry and batch reports
+MEMORY_HIT = "hit-memory"
+DISK_HIT = "hit-disk"
+MISS = "miss"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    replacements: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "replacements": self.replacements,
+        }
+
+
+@dataclass
+class _Entry:
+    tol: float
+    result: JobResult = field(repr=False)
+
+
+class ResultCache:
+    """Tolerance-aware, content-addressed cache of :class:`JobResult`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-memory entries; the least recently used
+        entry is evicted when full (disk entries are never evicted).
+    disk_dir:
+        Optional directory for the persistent tier.  Created on first
+        store; safe to share between runs (filenames are content
+        hashes, so concurrent writers can only race to write identical
+        payloads).
+
+    Examples
+    --------
+    >>> from repro.service import ResultCache, SolveJob
+    >>> cache = ResultCache(capacity=2)
+    >>> cache.lookup(SolveJob(nu=4, p=0.01))
+    (None, 'miss')
+    """
+
+    def __init__(self, capacity: int = 512, disk_dir: str | None = None):
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+
+    # -------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job: SolveJob) -> bool:
+        entry = self._entries.get(job.cache_key())
+        return entry is not None and entry.tol <= job.tol
+
+    def keys(self) -> list[str]:
+        """In-memory keys, least → most recently used."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk tier untouched)."""
+        self._entries.clear()
+
+    # -------------------------------------------------------------- lookup
+    def lookup(self, job: SolveJob) -> tuple[JobResult | None, str]:
+        """Find a result for ``job``; returns ``(result, status)``.
+
+        ``status`` is ``"hit-memory"``, ``"hit-disk"`` or ``"miss"``.
+        A hit requires the stored solve tolerance to be at least as
+        tight as ``job.tol``; disk hits are promoted into memory.
+        """
+        key = job.cache_key()
+        entry = self._entries.get(key)
+        if entry is not None and entry.tol <= job.tol:
+            self._entries.move_to_end(key)
+            self.stats.memory_hits += 1
+            return entry.result, MEMORY_HIT
+        disk = self._load_disk(key)
+        if disk is not None and disk.tol <= job.tol:
+            self._put_memory(key, _Entry(disk.tol, disk))
+            self.stats.disk_hits += 1
+            return disk, DISK_HIT
+        self.stats.misses += 1
+        return None, MISS
+
+    # --------------------------------------------------------------- store
+    def store(self, job: SolveJob, result: JobResult) -> None:
+        """File ``result`` under ``job``'s content hash.
+
+        A tighter-tolerance entry is never overwritten by a looser one;
+        a tighter arrival replaces the looser entry in both tiers.
+        """
+        key = job.cache_key()
+        existing = self._entries.get(key)
+        if existing is not None and existing.tol <= result.tol:
+            self._entries.move_to_end(key)
+            return
+        if existing is not None:
+            self.stats.replacements += 1
+        self._put_memory(key, _Entry(result.tol, result))
+        self.stats.stores += 1
+        self._store_disk(key, result)
+
+    def _put_memory(self, key: str, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ---------------------------------------------------------- disk tier
+    def _disk_path(self, key: str) -> str | None:
+        if self.disk_dir is None:
+            return None
+        return os.path.join(self.disk_dir, f"{key}.npz")
+
+    def _load_disk(self, key: str) -> JobResult | None:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        from repro.io import load_job_result
+
+        import zipfile
+
+        try:
+            return load_job_result(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, ValidationError):
+            return None  # a corrupt entry is a miss, not a crash
+
+    def _store_disk(self, key: str, result: JobResult) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        existing = self._load_disk(key)
+        if existing is not None and existing.tol <= result.tol:
+            return
+        from repro.io import save_job_result
+
+        os.makedirs(self.disk_dir, exist_ok=True)
+        save_job_result(path, result)

@@ -1,4 +1,4 @@
-"""Problem specifications and parameter grids for the verification harness.
+"""Parameter grids for the verification harness.
 
 A :class:`ProblemSpec` is a *declarative* description of one quasispecies
 problem — chain length, error rate, landscape family, mutation family,
@@ -6,6 +6,11 @@ seed — from which the harness deterministically builds the concrete
 landscape/mutation objects.  Keeping the spec declarative (plain scalars
 and strings) makes verification reports machine-readable and lets the
 same spec be rebuilt identically inside pytest, the CLI, and benchmarks.
+
+The spec itself (and its deterministic content hashing) lives in
+:mod:`repro.service.jobspec` — the canonical single source of truth
+shared with the solver service layer — and is re-exported here
+unchanged, so existing ``repro.verify.spec`` imports keep working.
 
 Grids
 -----
@@ -24,28 +29,15 @@ Grids
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
-
-import numpy as np
-
 from repro.exceptions import ValidationError
-from repro.landscapes import (
-    HammingLandscape,
-    KroneckerLandscape,
-    LinearLandscape,
-    RandomLandscape,
-    SinglePeakLandscape,
-)
-from repro.landscapes.base import FitnessLandscape
-from repro.mutation import (
-    GroupedMutation,
-    MutationModel,
-    PerSiteMutation,
-    UniformMutation,
-    site_factor,
+from repro.service.jobspec import (
+    LANDSCAPE_KINDS,
+    MUTATION_KINDS,
+    ProblemSpec,
+    split_groups,
 )
 from repro.util.rng import as_generator
-from repro.util.validation import check_chain_length, check_error_rate
+from repro.util.validation import check_chain_length
 
 __all__ = [
     "LANDSCAPE_KINDS",
@@ -59,152 +51,6 @@ __all__ = [
     "build_grid",
     "GRID_NAMES",
 ]
-
-LANDSCAPE_KINDS = ("single-peak", "linear", "flat", "random", "kronecker")
-MUTATION_KINDS = ("uniform", "persite", "grouped")
-
-
-def split_groups(nu: int, max_group: int = 3) -> tuple[int, ...]:
-    """Deterministic split of ``ν`` bits into groups of size ≤ ``max_group``.
-
-    Used to give Kronecker landscapes and grouped mutation models a
-    reproducible structure for any chain length.
-    """
-    nu = check_chain_length(nu)
-    if max_group < 1:
-        raise ValidationError(f"max_group must be >= 1, got {max_group}")
-    groups: list[int] = []
-    left = nu
-    while left > 0:
-        g = min(max_group, left)
-        groups.append(g)
-        left -= g
-    return tuple(groups)
-
-
-@dataclass(frozen=True)
-class ProblemSpec:
-    """One verification problem, fully determined by plain scalars.
-
-    Attributes
-    ----------
-    nu:
-        Chain length ``ν`` (``N = 2**ν``).
-    p:
-        Nominal per-site error rate; per-site/grouped models derive
-        their (seeded) heterogeneous rates from it.
-    landscape:
-        One of :data:`LANDSCAPE_KINDS`.
-    mutation:
-        One of :data:`MUTATION_KINDS`.
-    peak, floor:
-        Master / background fitness used by the structured landscapes.
-    seed:
-        Seed for every random ingredient (random landscape values,
-        per-site rate jitter, grouped-block mixing).
-    """
-
-    nu: int
-    p: float
-    landscape: str = "single-peak"
-    mutation: str = "uniform"
-    peak: float = 2.0
-    floor: float = 1.0
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        check_chain_length(self.nu)
-        check_error_rate(self.p, allow_zero=True)
-        if self.landscape not in LANDSCAPE_KINDS:
-            raise ValidationError(
-                f"landscape must be one of {LANDSCAPE_KINDS}, got {self.landscape!r}"
-            )
-        if self.mutation not in MUTATION_KINDS:
-            raise ValidationError(
-                f"mutation must be one of {MUTATION_KINDS}, got {self.mutation!r}"
-            )
-
-    # --------------------------------------------------------------- label
-    @property
-    def n(self) -> int:
-        return 1 << self.nu
-
-    def label(self) -> str:
-        """Compact human-readable identifier used in reports."""
-        return (
-            f"nu={self.nu} p={self.p:g} landscape={self.landscape} "
-            f"mutation={self.mutation} seed={self.seed}"
-        )
-
-    def to_dict(self) -> dict:
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "ProblemSpec":
-        return cls(**data)
-
-    def with_(self, **changes) -> "ProblemSpec":
-        """A copy of this spec with the given fields replaced."""
-        return replace(self, **changes)
-
-    # ------------------------------------------------------------ builders
-    def build_landscape(self) -> FitnessLandscape:
-        """Materialize the landscape object this spec describes."""
-        if self.landscape == "single-peak":
-            return SinglePeakLandscape(self.nu, self.peak, self.floor)
-        if self.landscape == "linear":
-            return LinearLandscape(self.nu, self.peak, self.floor)
-        if self.landscape == "flat":
-            # Flat is a (degenerate) error-class landscape: phi(k) = floor.
-            return HammingLandscape(self.nu, [self.floor] * (self.nu + 1))
-        if self.landscape == "random":
-            return RandomLandscape(
-                self.nu,
-                c=max(self.peak, 1.5),
-                sigma=min(1.0, max(self.peak, 1.5) / 3.0),
-                seed=self.seed,
-            )
-        # kronecker
-        rng = as_generator(self.seed)
-        diagonals = [
-            self.floor + (self.peak - self.floor) * rng.random(1 << g) + 0.1
-            for g in split_groups(self.nu)
-        ]
-        return KroneckerLandscape(diagonals)
-
-    def build_mutation(self) -> MutationModel:
-        """Materialize the mutation model this spec describes."""
-        if self.mutation == "uniform":
-            return UniformMutation(self.nu, self.p)
-        rng = as_generator(self.seed + 1)
-        if self.mutation == "persite":
-            factors = []
-            for _ in range(self.nu):
-                p01 = self._jitter_rate(rng)
-                p10 = self._jitter_rate(rng)
-                factors.append(site_factor(p01, p10))
-            return PerSiteMutation(factors)
-        # grouped: per-group blocks = convex mix of a product-of-sites
-        # block with a random column-stochastic matrix, so the blocks are
-        # genuinely non-product (exercising the Kronecker contraction).
-        blocks = []
-        for g in split_groups(self.nu):
-            block = np.ones((1, 1))
-            for _ in range(g):
-                block = np.kron(block, site_factor(self._jitter_rate(rng), self._jitter_rate(rng)))
-            noise = rng.random((1 << g, 1 << g)) + 1e-3
-            noise /= noise.sum(axis=0, keepdims=True)
-            blocks.append(0.9 * block + 0.1 * noise)
-        return GroupedMutation(blocks)
-
-    def _jitter_rate(self, rng: np.random.Generator) -> float:
-        """A per-site rate near ``p`` (equal to ``p`` at the degenerate
-        corners so p = 0 / p = 1/2 stay exactly degenerate)."""
-        if self.p in (0.0, 0.5):
-            return self.p
-        lo = 0.5 * self.p
-        hi = min(0.5, 1.5 * self.p)
-        return float(lo + (hi - lo) * rng.random())
 
 
 # ---------------------------------------------------------------- grids

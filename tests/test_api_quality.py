@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.perf",
     "repro.population",
     "repro.reporting",
+    "repro.service",
     "repro.solvers",
     "repro.transforms",
     "repro.util",

@@ -14,7 +14,7 @@ import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
-FAST = ["quickstart.py", "general_mutation.py", "rna_alphabet.py"]
+FAST = ["quickstart.py", "general_mutation.py", "rna_alphabet.py", "batch_sweep.py"]
 SLOW = [
     "antiviral_planning.py",
     "error_threshold.py",

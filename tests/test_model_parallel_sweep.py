@@ -47,3 +47,36 @@ class TestParallelSweep:
         ls = SinglePeakLandscape(8)
         sweep = parallel_sweep_error_rates(ls, np.array([0.01, 0.02]), max_workers=64)
         assert sweep.class_concentrations.shape == (2, 9)
+
+
+@pytest.mark.service_smoke
+class TestServiceRouteRegression:
+    """The scheduler-routed sweep must be *bit-identical* to the serial
+    path — both run the very same :class:`ReducedSolver` call."""
+
+    def test_bit_identical_to_serial(self):
+        ls = SinglePeakLandscape(12, 2.0, 1.0)
+        serial = sweep_error_rates(ls, RATES)
+        parallel = parallel_sweep_error_rates(ls, RATES, max_workers=1)
+        assert (
+            parallel.class_concentrations.tobytes()
+            == serial.class_concentrations.tobytes()
+        )
+        assert parallel.p_max == serial.p_max
+
+    def test_bit_identical_through_process_pool(self):
+        rates = np.linspace(0.01, 0.06, 5)
+        ls = SinglePeakLandscape(10, 2.0, 1.0)
+        serial = sweep_error_rates(ls, rates)
+        parallel = parallel_sweep_error_rates(ls, rates, max_workers=2)
+        assert (
+            parallel.class_concentrations.tobytes()
+            == serial.class_concentrations.tobytes()
+        )
+
+    def test_duplicate_rates_rejected_by_grid_check(self):
+        # the service would dedup them, but the sweep contract demands a
+        # strictly increasing grid — unchanged from the serial path
+        ls = SinglePeakLandscape(8)
+        with pytest.raises(ValidationError):
+            parallel_sweep_error_rates(ls, np.array([0.01, 0.01, 0.02]))

@@ -1,0 +1,150 @@
+"""Tests for the content-addressed result cache (satellite 3).
+
+Covers the LRU eviction order, tolerance-aware hits, and the on-disk
+round-trip through :mod:`repro.io`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import load_job_result, save_job_result
+from repro.service import JobResult, ResultCache, SolveJob
+
+
+def _job(p: float, tol: float = 1e-12) -> SolveJob:
+    return SolveJob(nu=4, p=p, tol=tol)
+
+
+def _result(eigenvalue: float, tol: float = 1e-12) -> JobResult:
+    return JobResult(
+        eigenvalue=eigenvalue,
+        concentrations=np.linspace(0.4, 0.0, 5),
+        method="reduced",
+        iterations=1,
+        residual=1e-15,
+        converged=True,
+        tol=tol,
+    )
+
+
+class TestLRU:
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            ResultCache(capacity=0)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        a, b, c = _job(0.01), _job(0.02), _job(0.03)
+        cache.store(a, _result(1.0))
+        cache.store(b, _result(2.0))
+        cache.lookup(a)  # touch a → b is now least recent
+        cache.store(c, _result(3.0))  # evicts b
+        assert cache.lookup(a)[1] == "hit-memory"
+        assert cache.lookup(b)[1] == "miss"
+        assert cache.lookup(c)[1] == "hit-memory"
+        assert cache.stats.evictions == 1
+
+    def test_keys_ordered_lru_to_mru(self):
+        cache = ResultCache(capacity=3)
+        a, b = _job(0.01), _job(0.02)
+        cache.store(a, _result(1.0))
+        cache.store(b, _result(2.0))
+        cache.lookup(a)
+        assert cache.keys() == [b.cache_key(), a.cache_key()]
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache(capacity=2)
+        cache.store(_job(0.01), _result(1.0))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.stores == 1
+
+
+class TestToleranceAwareness:
+    def test_tighter_cached_serves_looser_request(self):
+        cache = ResultCache()
+        cache.store(_job(0.01, tol=1e-12), _result(1.0, tol=1e-12))
+        hit, status = cache.lookup(_job(0.01, tol=1e-6))
+        assert status == "hit-memory" and hit.tol == 1e-12
+
+    def test_looser_cached_misses_tighter_request(self):
+        cache = ResultCache()
+        cache.store(_job(0.01, tol=1e-6), _result(1.0, tol=1e-6))
+        hit, status = cache.lookup(_job(0.01, tol=1e-12))
+        assert hit is None and status == "miss"
+
+    def test_tighter_store_replaces_looser(self):
+        cache = ResultCache()
+        cache.store(_job(0.01, tol=1e-6), _result(1.0, tol=1e-6))
+        cache.store(_job(0.01, tol=1e-12), _result(2.0, tol=1e-12))
+        hit, _ = cache.lookup(_job(0.01, tol=1e-12))
+        assert hit.eigenvalue == 2.0
+        assert cache.stats.replacements == 1
+
+    def test_looser_store_never_overwrites_tighter(self):
+        cache = ResultCache()
+        cache.store(_job(0.01, tol=1e-12), _result(1.0, tol=1e-12))
+        cache.store(_job(0.01, tol=1e-6), _result(9.0, tol=1e-6))
+        hit, _ = cache.lookup(_job(0.01, tol=1e-12))
+        assert hit.eigenvalue == 1.0
+
+    def test_contains_respects_tol(self):
+        cache = ResultCache()
+        cache.store(_job(0.01, tol=1e-8), _result(1.0, tol=1e-8))
+        assert _job(0.01, tol=1e-6) in cache
+        assert _job(0.01, tol=1e-10) not in cache
+
+
+class TestDiskTier:
+    def test_round_trip_via_repro_io(self, tmp_path):
+        result = _result(1.7)
+        path = str(tmp_path / "result.npz")
+        save_job_result(path, result)
+        loaded = load_job_result(path)
+        assert loaded.eigenvalue == result.eigenvalue
+        np.testing.assert_array_equal(loaded.concentrations, result.concentrations)
+        assert loaded.method == result.method and loaded.tol == result.tol
+
+    def test_warm_restart_across_instances(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        first = ResultCache(capacity=8, disk_dir=disk)
+        first.store(_job(0.01), _result(1.0))
+        # a brand-new cache (fresh process in real life) hits the disk tier
+        second = ResultCache(capacity=8, disk_dir=disk)
+        hit, status = second.lookup(_job(0.01))
+        assert status == "hit-disk" and hit.eigenvalue == 1.0
+        # the disk hit was promoted to memory
+        assert second.lookup(_job(0.01))[1] == "hit-memory"
+        assert second.stats.disk_hits == 1 and second.stats.memory_hits == 1
+
+    def test_eviction_does_not_lose_disk_entry(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        cache = ResultCache(capacity=1, disk_dir=disk)
+        a, b = _job(0.01), _job(0.02)
+        cache.store(a, _result(1.0))
+        cache.store(b, _result(2.0))  # evicts a from memory
+        hit, status = cache.lookup(a)
+        assert status == "hit-disk" and hit.eigenvalue == 1.0
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        disk = tmp_path / "cache"
+        disk.mkdir()
+        job = _job(0.01)
+        (disk / f"{job.cache_key()}.npz").write_bytes(b"not an npz archive")
+        cache = ResultCache(disk_dir=str(disk))
+        hit, status = cache.lookup(job)
+        assert hit is None and status == "miss"
+
+
+class TestStats:
+    def test_counts_add_up(self):
+        cache = ResultCache()
+        cache.lookup(_job(0.01))  # miss
+        cache.store(_job(0.01), _result(1.0))
+        cache.lookup(_job(0.01))  # hit
+        stats = cache.stats
+        assert (stats.misses, stats.memory_hits, stats.stores) == (1, 1, 1)
+        assert stats.hits == 1 and stats.lookups == 2
+        assert set(stats.to_dict()) == {
+            "memory_hits", "disk_hits", "misses", "evictions", "stores", "replacements",
+        }
