@@ -165,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="pool_kind", help="worker pool kind")
     batch.add_argument("--timeout", type=float, help="per-attempt timeout [s]")
     batch.add_argument("--retries", type=int, help="retries per route")
+    batch.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="solve operator-sharing job groups in one multi-vector "
+        "block power iteration (--no-batched forces scalar solves); "
+        "defaults to the manifest's 'batched' option, else on",
+    )
     batch.add_argument("--json", metavar="PATH", default="batch-report.json",
                        help="where to write the JSON report ('-' for stdout)")
     batch.add_argument("--quiet", action="store_true",
@@ -363,6 +371,7 @@ def _cmd_batch(args) -> int:
         kind=args.pool_kind,
         timeout=args.timeout,
         retries=args.retries,
+        batched=args.batched,
     )
     if not args.quiet:
         rows = []

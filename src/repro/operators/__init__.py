@@ -20,6 +20,7 @@ from repro.operators.base import ImplicitOperator, OperatorCosts, FORMS
 from repro.operators.smvp import Smvp
 from repro.operators.xmvp import Xmvp
 from repro.operators.fmmp import Fmmp
+from repro.operators.batched import BatchedFmmp
 from repro.operators.shifted import ShiftedOperator
 from repro.operators.truncated import TruncatedWalsh
 from repro.operators.dense_w import dense_w, convert_eigenvector
@@ -32,6 +33,7 @@ __all__ = [
     "Smvp",
     "Xmvp",
     "Fmmp",
+    "BatchedFmmp",
     "ShiftedOperator",
     "dense_w",
     "convert_eigenvector",

@@ -37,24 +37,41 @@ FORMS = ("right", "symmetric", "left")
 
 @dataclass(frozen=True)
 class OperatorCosts:
-    """Static per-matvec cost estimates for performance modeling.
+    """Static per-product cost estimates for performance modeling.
 
     Attributes
     ----------
     flops:
-        Floating-point operations per product.
+        Floating-point operations per product (for ``batch > 1``: for the
+        whole multi-vector product, i.e. all ``batch`` columns together).
     bytes_moved:
         Main-memory traffic per product (reads + writes, in bytes),
         assuming no cache reuse beyond registers — the right model for
         the streaming, bandwidth-bound kernels of the paper (Sec. 4).
+        Like ``flops``, this is the total for the whole block.
     storage_bytes:
         Persistent storage the operator itself needs (dense matrix,
         mask tables, …); vectors excluded.
+    batch:
+        Number of right-hand-side columns the product applies to at once
+        (1 for a plain matvec).
     """
 
     flops: float
     bytes_moved: float
     storage_bytes: float
+    batch: int = 1
+
+    def per_vector(self) -> "OperatorCosts":
+        """Amortized costs for a single column of the batch."""
+        if self.batch == 1:
+            return self
+        return OperatorCosts(
+            flops=self.flops / self.batch,
+            bytes_moved=self.bytes_moved / self.batch,
+            storage_bytes=self.storage_bytes,
+            batch=1,
+        )
 
 
 class ImplicitOperator(abc.ABC):
@@ -74,6 +91,23 @@ class ImplicitOperator(abc.ABC):
     @abc.abstractmethod
     def costs(self) -> OperatorCosts:
         """Static cost descriptor for one :meth:`matvec`."""
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        """Product with every column of an ``(n, B)`` block.
+
+        The default simply loops :meth:`matvec` column by column —
+        operators with a genuinely batched kernel (notably
+        :class:`~repro.operators.batched.BatchedFmmp`) override this
+        with a single fused sweep over the whole block.
+        """
+        arr = np.asarray(block, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValidationError(f"matmat expects a 2-D (n, B) block, got shape {arr.shape}")
+        if arr.shape[0] != self.n:
+            raise ValidationError(f"matmat block must have {self.n} rows, got {arr.shape[0]}")
+        if arr.shape[1] == 0:
+            return np.empty_like(arr)
+        return np.stack([self.matvec(arr[:, j]) for j in range(arr.shape[1])], axis=1)
 
     # --------------------------------------------------------- conveniences
     def __matmul__(self, v: np.ndarray) -> np.ndarray:

@@ -20,6 +20,9 @@ matters for memory-access order, which is why the paper mentions both.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
+
 import numpy as np
 
 from repro.exceptions import ValidationError
@@ -34,6 +37,41 @@ from repro.transforms.kronecker import kron_matvec
 __all__ = ["Fmmp"]
 
 _VARIANTS = ("eq9", "eq10")
+
+
+class _ScratchPool:
+    """Reentrant pool of scratch-half pairs for the in-situ butterfly.
+
+    ``Fmmp`` used to keep a single ``(s1, s2)`` scratch tuple as operator
+    state, which made concurrent :meth:`Fmmp.matvec` calls on a shared
+    instance race on the same buffers (the service worker pool shares one
+    operator per job group).  The pool hands each in-flight product its
+    own pair — lock-protected free list, allocate on miss — so calls are
+    reentrant while the steady-state single-threaded case still reuses
+    one allocation.
+    """
+
+    def __init__(self, half: int, max_idle: int = 4):
+        self._half = half
+        self._max_idle = max_idle
+        self._lock = threading.Lock()
+        self._free: deque[tuple[np.ndarray, np.ndarray]] = deque()
+
+    def acquire(self) -> tuple[np.ndarray, np.ndarray]:
+        with self._lock:
+            if self._free:
+                return self._free.popleft()
+        return (np.empty(self._half), np.empty(self._half))
+
+    def release(self, pair: tuple[np.ndarray, np.ndarray]) -> None:
+        with self._lock:
+            if len(self._free) < self._max_idle:
+                self._free.append(pair)
+
+    @property
+    def idle(self) -> int:
+        with self._lock:
+            return len(self._free)
 
 
 class Fmmp(ImplicitOperator, FormMixin):
@@ -84,8 +122,9 @@ class Fmmp(ImplicitOperator, FormMixin):
             self._bit_factors = mutation.factors_per_bit()
             self._blocks = None
             # Scratch for the allocation-free stage sweep (half the
-            # vector each; reused across calls — Fmmp's Θ(N) storage).
-            self._scratch = (np.empty(self.n // 2), np.empty(self.n // 2))
+            # vector each).  Acquired per call from a reentrant pool so
+            # concurrent workers can share one operator instance.
+            self._scratch_pool = _ScratchPool(self.n // 2)
         elif isinstance(mutation, GroupedMutation):
             self._bit_factors = None
             self._blocks = mutation.blocks()
@@ -103,26 +142,29 @@ class Fmmp(ImplicitOperator, FormMixin):
         if self._bit_factors is not None:
             nu = self.mutation.nu
             stages = range(nu) if self.variant == "eq9" else range(nu - 1, -1, -1)
-            half = self.n // 2
-            s1, s2 = self._scratch
-            for s in stages:
-                span = 1 << s
-                m = self._bit_factors[s]
-                src = w.reshape(-1, 2, span)
-                lo = src[:, 0, :]
-                hi = src[:, 1, :]
-                # Allocation-free butterfly: 7 streaming passes over N/2
-                # elements via the reusable scratch halves (the in-situ
-                # property of Eq. 9/10 — no Θ(N) temporaries per stage).
-                a = s1.reshape(lo.shape)
-                b = s2.reshape(lo.shape)
-                np.multiply(hi, m[1, 1], out=b)
-                np.multiply(lo, m[1, 0], out=a)
-                a += b  # new_hi
-                np.multiply(hi, m[0, 1], out=b)
-                lo *= m[0, 0]
-                lo += b  # new_lo, written in place
-                hi[:] = a
+            pair = self._scratch_pool.acquire()
+            try:
+                s1, s2 = pair
+                for s in stages:
+                    span = 1 << s
+                    m = self._bit_factors[s]
+                    src = w.reshape(-1, 2, span)
+                    lo = src[:, 0, :]
+                    hi = src[:, 1, :]
+                    # Allocation-free butterfly: 7 streaming passes over N/2
+                    # elements via the reusable scratch halves (the in-situ
+                    # property of Eq. 9/10 — no Θ(N) temporaries per stage).
+                    a = s1.reshape(lo.shape)
+                    b = s2.reshape(lo.shape)
+                    np.multiply(hi, m[1, 1], out=b)
+                    np.multiply(lo, m[1, 0], out=a)
+                    a += b  # new_hi
+                    np.multiply(hi, m[0, 1], out=b)
+                    lo *= m[0, 0]
+                    lo += b  # new_lo, written in place
+                    hi[:] = a
+            finally:
+                self._scratch_pool.release(pair)
             return w
         if self._blocks is not None:
             return kron_matvec(self._blocks, w)
@@ -140,18 +182,37 @@ class Fmmp(ImplicitOperator, FormMixin):
     def is_symmetric(self) -> bool:
         return self.form == "symmetric" and self.mutation.is_symmetric
 
-    def costs(self) -> OperatorCosts:
+    def costs(self, *, batch: int = 1) -> OperatorCosts:
         """Per stage: N/2 butterflies × (4 mem ops + 6 flops), ν stages,
-        plus the diagonal scaling — the paper's ``Θ(N log₂ N)``."""
+        plus the diagonal scaling — the paper's ``Θ(N log₂ N)``.
+
+        With ``batch > 1`` the costs describe the stage-fused batched
+        kernel (:mod:`repro.transforms.batched`) applied to a
+        ``(N, batch)`` block: ``⌈ν/2⌉`` radix-4 sweeps with the diagonal
+        scalings folded into the ping-pong schedule, modeled by
+        :func:`repro.perf.batched.batched_fmmp_costs`.
+        """
+        if batch < 1:
+            raise ValidationError(f"batch must be >= 1, got {batch}")
         n = float(self.n)
         nu = float(self.mutation.nu)
         scale_passes = 2.0 if self.form == "symmetric" else 1.0
+        if batch > 1 and self._blocks is None:
+            # Lazy import: repro.perf pulls in modules that import the
+            # operators package.
+            from repro.perf.batched import batched_fmmp_costs
+
+            return batched_fmmp_costs(self.mutation.nu, batch, form=self.form)
         if self._blocks is not None:
             # Σ per-group contraction cost: N * 2^{g_i} mults/adds each.
             contraction = sum(2.0 * n * (1 << b) for b in self.mutation.group_sizes)
             flops = contraction + scale_passes * n
             bytes_moved = 8.0 * (2.0 * n * len(self._blocks) + 3.0 * scale_passes * n)
+            flops *= batch
+            bytes_moved *= batch
         else:
             flops = 6.0 * (n / 2.0) * nu + scale_passes * n
             bytes_moved = 8.0 * (4.0 * (n / 2.0) * nu + 3.0 * scale_passes * n)
-        return OperatorCosts(flops=flops, bytes_moved=bytes_moved, storage_bytes=8.0 * n)
+        return OperatorCosts(
+            flops=flops, bytes_moved=bytes_moved, storage_bytes=8.0 * n, batch=batch
+        )

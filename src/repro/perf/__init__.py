@@ -22,6 +22,14 @@ from repro.perf.costs import (
     xmvp_mask_count,
     operator_costs,
 )
+from repro.perf.batched import (
+    batched_fmmp_costs,
+    modeled_speedup,
+    modeled_crossover_batch,
+    BatchedMeasurement,
+    measure_batched_matmat,
+    measured_crossover,
+)
 from repro.perf.model import (
     predict_matvec_time,
     predict_power_iteration_time,
@@ -33,6 +41,12 @@ from repro.perf.speedup import speedup_series, SpeedupTable
 
 __all__ = [
     "fmmp_costs",
+    "batched_fmmp_costs",
+    "modeled_speedup",
+    "modeled_crossover_batch",
+    "BatchedMeasurement",
+    "measure_batched_matmat",
+    "measured_crossover",
     "xmvp_costs",
     "smvp_costs",
     "xmvp_mask_count",

@@ -43,9 +43,18 @@ from repro.service.pool import (
     JobTelemetry,
     WorkerPool,
     execute_job,
+    execute_batched_job,
     fallback_routes,
 )
-from repro.service.scheduler import BatchPlan, JobGroup, estimate_cost, plan_batch
+from repro.service.scheduler import (
+    BatchPlan,
+    BatchedSolveJob,
+    JobGroup,
+    estimate_cost,
+    is_batchable,
+    plan_batch,
+    plan_batched_jobs,
+)
 from repro.service.service import (
     BatchReport,
     SolverService,
@@ -60,6 +69,7 @@ __all__ = [
     "MAX_DENSE_NU",
     "BatchPlan",
     "BatchReport",
+    "BatchedSolveJob",
     "CacheStats",
     "JobGroup",
     "JobResult",
@@ -73,9 +83,12 @@ __all__ = [
     "content_hash",
     "estimate_cost",
     "execute_job",
+    "execute_batched_job",
     "fallback_routes",
+    "is_batchable",
     "load_manifest",
     "plan_batch",
+    "plan_batched_jobs",
     "run_manifest",
     "split_groups",
 ]

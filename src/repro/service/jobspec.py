@@ -408,13 +408,17 @@ class SolveJob:
         Jobs with equal keys use the same mutation operator (same ν, p,
         mutation family, seed), so Q-factor tables / FWHT plans built
         for one serve the whole group; reduced jobs group separately
-        (they share the (ν+1) machinery instead).
+        (they share the (ν+1) machinery instead).  The uniform model
+        ignores the seed (``Q`` depends on ν and p only), so uniform
+        jobs group *across* seeds — a random-landscape grid over many
+        seeds is a single operator group, i.e. one batched butterfly
+        stream.
         """
         payload = {
             "nu": self.nu,
             "p": self.p,
             "mutation": self.mutation,
-            "seed": self.seed,
+            "seed": None if self.mutation == "uniform" else self.seed,
             "reduced": self.is_reduced,
             "operator": None if self.is_reduced else self.operator,
             "dmax": None if self.is_reduced else self.dmax,

@@ -46,6 +46,7 @@ __all__ = [
     "JobTelemetry",
     "WorkerPool",
     "execute_job",
+    "execute_batched_job",
     "fallback_routes",
 ]
 
@@ -68,6 +69,12 @@ class JobTelemetry:
     ``"cached"`` (the service answered from the result cache) or
     ``"failed"`` (every route in the fallback chain failed — the named
     failures are in ``failures``).
+
+    ``batch`` is the block width the job was solved in: 1 for a scalar
+    solve, B > 1 when the job rode a batched
+    :class:`~repro.service.scheduler.BatchedSolveJob` (its
+    ``solve_seconds`` is then the whole block's wall-clock divided by
+    B — the amortized per-column cost).
     """
 
     key: str
@@ -81,6 +88,7 @@ class JobTelemetry:
     solve_seconds: float = 0.0
     iterations: int = 0
     cache: str = "miss"
+    batch: int = 1
 
     @classmethod
     def cached(cls, job: SolveJob, status: str) -> "JobTelemetry":
@@ -106,6 +114,7 @@ class JobTelemetry:
             "solve_seconds": self.solve_seconds,
             "iterations": self.iterations,
             "cache": self.cache,
+            "batch": self.batch,
         }
 
     @classmethod
@@ -277,6 +286,82 @@ def execute_job(job: SolveJob) -> JobResult:
     )
 
 
+def _effective_shift(job: SolveJob, mutation, landscape) -> float:
+    """The shift μ the scalar route would apply to ``job``.
+
+    Mirrors :meth:`repro.model.quasispecies.QuasispeciesModel.solve`
+    exactly: ``auto`` implies the conservative shift for non-degenerate
+    uniform problems; ``shift=True`` demands the uniform formula; a
+    float is used verbatim.
+    """
+    from repro.mutation.uniform import UniformMutation
+    from repro.operators.shifted import conservative_shift
+
+    shift = job.shift
+    if job.method == "auto" and shift is False and isinstance(mutation, UniformMutation):
+        degenerate = mutation.p == 0.0 and landscape.fmin == landscape.fmax
+        if not degenerate:
+            shift = True
+    if shift is False:
+        return 0.0
+    if shift is True:
+        if not isinstance(mutation, UniformMutation):
+            raise ValidationError(
+                "the conservative shift formula needs the uniform model; "
+                "pass an explicit float shift instead"
+            )
+        return conservative_shift(mutation, landscape)
+    return float(shift)
+
+
+def execute_batched_job(bjob) -> list:
+    """Solve a :class:`~repro.service.scheduler.BatchedSolveJob`.
+
+    Builds the shared mutation operator once, stacks the per-job
+    landscapes into one :class:`~repro.operators.batched.BatchedFmmp`,
+    and runs the lock-step
+    :class:`~repro.solvers.power.BlockPowerIteration` with per-column
+    shifts.  Returns one :class:`~repro.service.jobspec.JobResult` per
+    member job, in order.  Module-level and picklable.
+    """
+    from repro.model.concentrations import class_concentrations
+    from repro.operators.batched import BatchedFmmp
+    from repro.solvers.power import BlockPowerIteration
+
+    jobs = list(bjob.jobs)
+    if not jobs:
+        raise ValidationError("batched job has no members")
+    mutation = jobs[0].build_mutation()
+    landscapes = [job.build_landscape() for job in jobs]
+    shifts = np.array(
+        [_effective_shift(job, mutation, land) for job, land in zip(jobs, landscapes)]
+    )
+    op = BatchedFmmp(mutation, landscapes, form=bjob.form)
+    solver = BlockPowerIteration(
+        op,
+        shifts=shifts,
+        tol=bjob.tol,
+        max_iterations=bjob.max_iterations,
+    )
+    shifted_any = bool(np.any(shifts != 0.0))
+    label = "BPi(Fmmp, shifted)" if shifted_any else "BPi(Fmmp)"
+    block = solver.solve(raise_on_fail=False, method_name=label)
+    results = []
+    for job, res in zip(jobs, block.columns):
+        results.append(
+            JobResult(
+                eigenvalue=float(res.eigenvalue),
+                concentrations=class_concentrations(res.concentrations, job.nu),
+                method=res.method,
+                iterations=int(res.iterations),
+                residual=float(res.residual),
+                converged=bool(res.converged),
+                tol=job.tol,
+            )
+        )
+    return results
+
+
 def _timed_call(fn, job):
     """Worker wrapper measuring start/end stamps (module-level so it
     pickles into process workers)."""
@@ -354,6 +439,10 @@ class WorkerPool:
         Worker body override — used by fault-injection tests and by
         any deployment that wraps :func:`execute_job` (must be
         picklable for ``kind="process"``).
+    batched_solve_fn:
+        Override for the batched-block worker body (defaults to
+        :func:`execute_batched_job`); fault-injection tests use it to
+        exercise the batched → scalar degradation path.
     """
 
     def __init__(
@@ -365,6 +454,7 @@ class WorkerPool:
         retries: int = 1,
         backoff: float = 0.05,
         solve_fn=None,
+        batched_solve_fn=None,
     ):
         if kind not in _POOL_KINDS:
             raise ValidationError(f"kind must be one of {_POOL_KINDS}, got {kind!r}")
@@ -380,6 +470,7 @@ class WorkerPool:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.solve_fn = solve_fn or execute_job
+        self.batched_solve_fn = batched_solve_fn or execute_batched_job
 
     # ----------------------------------------------------------------- run
     def run(self, jobs: list[SolveJob]) -> list[tuple[JobResult | None, JobTelemetry]]:
@@ -395,6 +486,69 @@ class WorkerPool:
         if self.kind == "serial" or workers == 1:
             return [self._run_serial(state) for state in states]
         return self._run_executor(states, workers)
+
+    # ------------------------------------------------------------- batched
+    def run_batched(self, bjob) -> list[tuple[JobResult | None, JobTelemetry]]:
+        """Execute one :class:`~repro.service.scheduler.BatchedSolveJob`.
+
+        The whole block rides a single
+        :class:`~repro.solvers.power.BlockPowerIteration` stream; the
+        returned ``(result, telemetry)`` pairs align with
+        ``bjob.jobs``.  Degradation is per *failure scope*:
+
+        * the block itself raising (bad build, kernel error) falls back
+          to scalar :meth:`run` for **every** member — each telemetry
+          names the block failure and ``fallback_used`` is set;
+        * individual unconverged columns fall back to the scalar route
+          chain for **those columns only** — the converged columns keep
+          their batched results.
+        """
+        jobs = list(bjob.jobs)
+        b = len(jobs)
+        t0 = time.perf_counter()
+        try:
+            results = self.batched_solve_fn(bjob)
+            if len(results) != b:
+                raise ValidationError(
+                    f"batched worker returned {len(results)} results for {b} jobs"
+                )
+        except Exception as exc:  # noqa: BLE001 - block falls back to scalar
+            note = f"batched[B={b}]: {type(exc).__name__}: {exc}"
+            outcomes = self.run(jobs)
+            for _, tele in outcomes:
+                tele.failures.insert(0, note)
+                tele.fallback_used = True
+            return outcomes
+        elapsed = time.perf_counter() - t0
+
+        outcomes: list[tuple[JobResult | None, JobTelemetry] | None] = [None] * b
+        pending: list[int] = []
+        for k, (job, result) in enumerate(zip(jobs, results)):
+            if not result.converged:
+                pending.append(k)
+                continue
+            tele = JobTelemetry(
+                key=job.cache_key(),
+                label=job.label(),
+                status="solved",
+                route="batched-power",
+                attempts=1,
+                solve_seconds=elapsed / b,
+                iterations=result.iterations,
+                batch=b,
+            )
+            outcomes[k] = (result, tele)
+        if pending:
+            note = (
+                f"batched-power: column did not converge within "
+                f"{bjob.max_iterations} sweeps"
+            )
+            scalar = self.run([jobs[k] for k in pending])
+            for k, (result, tele) in zip(pending, scalar):
+                tele.failures.insert(0, note)
+                tele.fallback_used = True
+                outcomes[k] = (result, tele)
+        return outcomes
 
     # -------------------------------------------------------------- serial
     def _run_serial(self, state: _JobState) -> tuple[JobResult | None, JobTelemetry]:

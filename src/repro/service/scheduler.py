@@ -20,12 +20,21 @@ executes:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.perf.costs import operator_costs
 from repro.service.jobspec import SolveJob
 
-__all__ = ["JobGroup", "BatchPlan", "estimate_cost", "plan_batch"]
+__all__ = [
+    "JobGroup",
+    "BatchPlan",
+    "BatchedSolveJob",
+    "estimate_cost",
+    "plan_batch",
+    "is_batchable",
+    "plan_batched_jobs",
+]
 
 #: nominal iteration count used to price one iterative full-size solve
 _NOMINAL_ITERATIONS = 200.0
@@ -133,6 +142,115 @@ class BatchPlan:
             "groups": len(self.groups),
             "reduced_jobs": sum(len(g.indices) for g in self.groups if g.reduced),
         }
+
+
+@dataclass(frozen=True)
+class BatchedSolveJob:
+    """A block of operator-sharing jobs to solve in one butterfly stream.
+
+    Every member shares the mutation operator ``Q`` (same
+    :meth:`~repro.service.jobspec.SolveJob.operator_key`) and the
+    eigenproblem form; the landscapes differ per column.  The pool
+    executes it through
+    :class:`~repro.solvers.power.BlockPowerIteration` on one
+    :class:`~repro.operators.batched.BatchedFmmp`, with per-column
+    shifts and per-column convergence bookkeeping.
+
+    Attributes
+    ----------
+    key:
+        The shared operator key (group identity).
+    form:
+        The shared eigenproblem form.
+    indices:
+        Positions of the member jobs in ``BatchPlan.unique_jobs``.
+    jobs:
+        The member jobs, aligned with ``indices``.
+    """
+
+    key: str
+    form: str
+    indices: tuple[int, ...]
+    jobs: tuple[SolveJob, ...]
+
+    @property
+    def batch(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def tol(self) -> float:
+        """The tightest member tolerance — satisfying it satisfies all."""
+        return min(j.tol for j in self.jobs)
+
+    @property
+    def max_iterations(self) -> int:
+        return max(int(j.max_iterations) for j in self.jobs)
+
+    def label(self) -> str:
+        first = self.jobs[0]
+        return (
+            f"batched[B={self.batch}] nu={first.nu} p={first.p:g} "
+            f"mutation={first.mutation} form={self.form}"
+        )
+
+
+def is_batchable(job: SolveJob) -> bool:
+    """Whether ``job`` can ride the batched multi-vector power route.
+
+    Batchable jobs are full-size power solves on the Fmmp operator —
+    the route :class:`~repro.operators.batched.BatchedFmmp` implements.
+    Reduced/dense/Krylov/kronecker routes keep their scalar paths (they
+    are either already (ν+1)-sized or need per-job Krylov state).
+    """
+    return job.resolved_method() == "power" and job.operator == "fmmp"
+
+
+def plan_batched_jobs(
+    plan: BatchPlan,
+    subset: Sequence[int] | None = None,
+    *,
+    min_batch: int = 2,
+) -> list[BatchedSolveJob]:
+    """Extract batched blocks from a plan's operator-sharing groups.
+
+    Walks each :class:`JobGroup`, keeps its batchable members (within
+    ``subset`` when given — the service passes the cache-miss indices),
+    sub-groups them by eigenproblem form (one
+    :class:`~repro.operators.batched.BatchedFmmp` has a single form),
+    and emits a :class:`BatchedSolveJob` for every sub-group of at least
+    ``min_batch`` jobs.  Smaller sub-groups stay on the scalar route —
+    a one-column block has nothing to amortize.
+    """
+    if min_batch < 1:
+        from repro.exceptions import ValidationError
+
+        raise ValidationError(f"min_batch must be >= 1, got {min_batch}")
+    allowed = None if subset is None else set(subset)
+    blocks: list[BatchedSolveJob] = []
+    for group in plan.groups:
+        if group.reduced:
+            continue
+        by_form: dict[str, list[int]] = {}
+        for idx in group.indices:
+            if allowed is not None and idx not in allowed:
+                continue
+            job = plan.unique_jobs[idx]
+            if not is_batchable(job):
+                continue
+            by_form.setdefault(job.form, []).append(idx)
+        for form in sorted(by_form):
+            indices = by_form[form]
+            if len(indices) < min_batch:
+                continue
+            blocks.append(
+                BatchedSolveJob(
+                    key=group.key,
+                    form=form,
+                    indices=tuple(indices),
+                    jobs=tuple(plan.unique_jobs[i] for i in indices),
+                )
+            )
+    return blocks
 
 
 def plan_batch(jobs: list[SolveJob]) -> BatchPlan:

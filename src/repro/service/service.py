@@ -38,7 +38,7 @@ from repro.exceptions import ValidationError
 from repro.service.cache import ResultCache
 from repro.service.jobspec import JobResult, SolveJob
 from repro.service.pool import JobTelemetry, WorkerPool
-from repro.service.scheduler import plan_batch
+from repro.service.scheduler import plan_batch, plan_batched_jobs
 
 __all__ = ["SolverService", "BatchReport", "load_manifest", "run_manifest"]
 
@@ -50,6 +50,8 @@ _OPTION_KEYS = (
     "backoff",
     "capacity",
     "cache_dir",
+    "batched",
+    "min_batch",
 )
 
 
@@ -99,6 +101,11 @@ class BatchReport:
         return sum(1 for t in self.telemetry if t.fallback_used)
 
     @property
+    def n_batched(self) -> int:
+        """Unique jobs served by a multi-vector block solve."""
+        return sum(1 for t in self.telemetry if t.batch > 1 and t.status == "solved")
+
+    @property
     def passed(self) -> bool:
         """True when every request received a result."""
         return self.n_failed == 0 and all(r is not None for r in self.results)
@@ -123,6 +130,7 @@ class BatchReport:
             "cached": self.n_cached,
             "failed": self.n_failed,
             "fallbacks": self.n_fallbacks,
+            "batched": self.n_batched,
             "passed": self.passed,
             "index_map": list(self.index_map),
             "jobs": [job.to_dict() for job in self.jobs],
@@ -162,6 +170,13 @@ class SolverService:
         An explicit :class:`~repro.service.pool.WorkerPool` — or
         ``None`` to build one from ``workers``/``kind``/``timeout``/
         ``retries``/``backoff``/``solve_fn``.
+    batched:
+        Route operator-sharing groups of batchable power jobs through
+        the multi-vector
+        :class:`~repro.solvers.power.BlockPowerIteration` (default
+        ``True``); ``False`` forces per-job scalar solves.
+    min_batch:
+        Smallest group size worth batching (default 2).
 
     Examples
     --------
@@ -185,7 +200,12 @@ class SolverService:
         retries: int = 1,
         backoff: float = 0.05,
         solve_fn=None,
+        batched_solve_fn=None,
+        batched: bool = True,
+        min_batch: int = 2,
     ):
+        if min_batch < 1:
+            raise ValidationError(f"min_batch must be >= 1, got {min_batch}")
         self.cache = cache or ResultCache(capacity, disk_dir=cache_dir)
         self.pool = pool or WorkerPool(
             workers,
@@ -194,7 +214,10 @@ class SolverService:
             retries=retries,
             backoff=backoff,
             solve_fn=solve_fn,
+            batched_solve_fn=batched_solve_fn,
         )
+        self.batched = bool(batched)
+        self.min_batch = int(min_batch)
 
     # -------------------------------------------------------------- single
     def solve(self, job: SolveJob) -> JobResult:
@@ -226,12 +249,25 @@ class SolverService:
                 to_solve.append(uidx)
 
         if to_solve:
-            outcomes = self.pool.run([plan.unique_jobs[u] for u in to_solve])
-            for uidx, (result, tele) in zip(to_solve, outcomes):
-                results[uidx] = result
-                telemetry[uidx] = tele
-                if result is not None:
-                    self.cache.store(plan.unique_jobs[uidx], result)
+            singles = to_solve
+            if self.batched:
+                blocks = plan_batched_jobs(plan, to_solve, min_batch=self.min_batch)
+                covered = {i for block in blocks for i in block.indices}
+                singles = [u for u in to_solve if u not in covered]
+                for block in blocks:
+                    outcomes = self.pool.run_batched(block)
+                    for uidx, (result, tele) in zip(block.indices, outcomes):
+                        results[uidx] = result
+                        telemetry[uidx] = tele
+                        if result is not None:
+                            self.cache.store(plan.unique_jobs[uidx], result)
+            if singles:
+                outcomes = self.pool.run([plan.unique_jobs[u] for u in singles])
+                for uidx, (result, tele) in zip(singles, outcomes):
+                    results[uidx] = result
+                    telemetry[uidx] = tele
+                    if result is not None:
+                        self.cache.store(plan.unique_jobs[uidx], result)
 
         return BatchReport(
             jobs=plan.jobs,

@@ -20,7 +20,7 @@
 """
 
 from repro.solvers.result import SolveResult, IterationRecord
-from repro.solvers.power import PowerIteration
+from repro.solvers.power import PowerIteration, BlockPowerIteration, BlockSolveResult
 from repro.solvers.dense import dense_dominant_eigenpair, dense_solve
 from repro.solvers.lanczos import Lanczos
 from repro.solvers.arnoldi import Arnoldi
@@ -41,6 +41,8 @@ __all__ = [
     "SolveResult",
     "IterationRecord",
     "PowerIteration",
+    "BlockPowerIteration",
+    "BlockSolveResult",
     "dense_dominant_eigenpair",
     "dense_solve",
     "Lanczos",

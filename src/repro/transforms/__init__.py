@@ -12,13 +12,24 @@ semantics:
 * :mod:`repro.transforms.fwht` — the fast Walsh–Hadamard transform used to
   diagonalize ``Q``,
 * :mod:`repro.transforms.kronecker` — matvec with an arbitrary Kronecker
-  product of small dense factors (Eq. 11 generality).
+  product of small dense factors (Eq. 11 generality),
+* :mod:`repro.transforms.batched` — the stage-fused, cache-blocked
+  multi-vector butterfly kernel (radix-4 stage fusion, folded diagonal
+  scalings, one scratch block) that backs both the scalar
+  ``butterfly_transform``/``fwht`` paths and the batched
+  ``matmat`` operators.
 """
 
 from repro.transforms.butterfly import (
     apply_stage,
     butterfly_transform,
     butterfly_transform_reference,
+)
+from repro.transforms.batched import (
+    FusedStage,
+    fused_stage_plan,
+    fused_stage_count,
+    batched_butterfly_transform,
 )
 from repro.transforms.fwht import fwht, fwht_inverse, fwht_matrix
 from repro.transforms.kronecker import kron_matvec, kron_vector, kron_diagonal
@@ -27,6 +38,10 @@ __all__ = [
     "apply_stage",
     "butterfly_transform",
     "butterfly_transform_reference",
+    "FusedStage",
+    "fused_stage_plan",
+    "fused_stage_count",
+    "batched_butterfly_transform",
     "fwht",
     "fwht_inverse",
     "fwht_matrix",

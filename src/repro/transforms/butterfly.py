@@ -100,21 +100,26 @@ def butterfly_transform(
 
     ``factors[s]`` is the 2×2 matrix acting on bit ``s`` (see module
     docstring for the Kronecker-order convention).  Runtime is
-    ``Θ(N log₂ N)``; with ``in_place=True`` no auxiliary vector beyond
-    NumPy's per-stage temporaries is kept and the input array is
-    overwritten and returned.
+    ``Θ(N log₂ N)``.  With ``in_place=True`` the (validated) input array
+    is overwritten and returned.
+
+    The transform is executed by the stage-fused batched kernel
+    (:func:`repro.transforms.batched.batched_butterfly_transform`) on a
+    single-column block, so the scalar path, the multi-vector path, the
+    FWHT and the spectral shift-invert products all share one engine.
     """
+    from repro.transforms.batched import batched_butterfly_transform
+
     nu = len(factors)
     if nu == 0:
         raise ValidationError("at least one factor is required")
     n = 1 << nu
     v = check_vector(v, n, "v")
-    work = v if in_place else v.copy()
-    span = 1
-    for s in range(nu):
-        apply_stage(work, span, factors[s], out=work)
-        span <<= 1
-    return work
+    out = batched_butterfly_transform(v.reshape(n, 1), factors).reshape(n)
+    if in_place:
+        v[:] = out
+        return v
+    return out
 
 
 def butterfly_transform_reference(v: np.ndarray, factors: Sequence[np.ndarray]) -> np.ndarray:

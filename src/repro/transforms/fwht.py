@@ -29,30 +29,69 @@ def _nu_of(n: int) -> int:
     return int(n).bit_length() - 1
 
 
+def _validate_in_place(v) -> np.ndarray:
+    """Enforce the documented ``in_place`` contract instead of silently
+    allocating: the input must already be a C-contiguous ``float64``
+    ndarray (anything else cannot be transformed without a copy)."""
+    if not isinstance(v, np.ndarray) or v.dtype != np.float64:
+        raise ValidationError(
+            "fwht(in_place=True) requires a float64 ndarray input "
+            f"(got {type(v).__name__} of dtype "
+            f"{getattr(v, 'dtype', 'n/a')}); pass in_place=False to transform a copy"
+        )
+    if not v.flags.c_contiguous:
+        raise ValidationError(
+            "fwht(in_place=True) requires a C-contiguous input (the "
+            "transform cannot overwrite a strided view without "
+            "allocating); pass in_place=False to transform a copy"
+        )
+    return v
+
+
 def fwht(v: np.ndarray, *, ortho: bool = True, in_place: bool = False) -> np.ndarray:
     """Walsh–Hadamard transform of ``v`` (length a power of two).
 
     Parameters
     ----------
     v:
-        Real input vector of length ``N = 2**ν``.
+        Real input vector of length ``N = 2**ν``, or an ``(N, B)`` block
+        whose ``B`` columns are transformed independently through the
+        stage-fused batched kernel
+        (:func:`repro.transforms.batched.batched_butterfly_transform`).
     ortho:
         If true (default), scale by ``2^{−ν/2}`` so the transform matrix
         is the symmetric orthogonal ``V(ν)`` of the paper and
         ``fwht(fwht(v)) == v``.  If false, the unnormalized ``H(ν) · v``
         is returned (each application multiplies norms by ``√N``).
     in_place:
-        Overwrite ``v`` (must be contiguous ``float64``) instead of
-        allocating.
+        Overwrite ``v`` instead of allocating.  The input must be a
+        C-contiguous ``float64`` array — anything else raises
+        :class:`~repro.exceptions.ValidationError` (it could only be
+        "transformed in place" by silently allocating a copy).
 
     Returns
     -------
     numpy.ndarray
-        The transformed vector.
+        The transformed vector / block.
     """
+    if in_place:
+        v = _validate_in_place(v)
     v = np.asarray(v, dtype=np.float64)
+    if v.ndim == 2:
+        from repro.transforms.batched import batched_butterfly_transform
+
+        nu = _nu_of(v.shape[0])
+        if nu == 0:
+            raise ValidationError("fwht needs at least 2 elements")
+        out = batched_butterfly_transform(v, [_H] * nu)
+        if ortho:
+            out *= 2.0 ** (-nu / 2.0)
+        if in_place:
+            v[:] = out
+            return v
+        return out
     if v.ndim != 1:
-        raise ValidationError(f"fwht expects a 1-D vector, got shape {v.shape}")
+        raise ValidationError(f"fwht expects a 1-D vector or (N, B) block, got shape {v.shape}")
     nu = _nu_of(len(v))
     if nu == 0:
         raise ValidationError("fwht needs at least 2 elements")

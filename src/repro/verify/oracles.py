@@ -8,6 +8,10 @@ product ``W·v`` (right form).  These are mathematically identical, so
 every pair must agree to machine precision on arbitrary probe vectors:
 
 * ``fmmp-eq9`` / ``fmmp-eq10`` — the butterfly, both stage orders,
+* ``fmmp-batched`` — the stage-fused multi-vector kernel
+  (:class:`~repro.operators.batched.BatchedFmmp`): the probe rides one
+  column of a genuine multi-column block, so column isolation and the
+  folded diagonal scalings are checked per probe,
 * ``xmvp`` — the XOR-based product of [10] with ``dmax = ν``,
 * ``smvp`` — the dense ``Θ(N²)`` baseline (small ν),
 * ``spectral`` — ``Q·v = V Λ V v`` via the FWHT (uniform model),
@@ -99,6 +103,7 @@ def product_oracles(spec: ProblemSpec) -> list[ProductOracle]:
         ProductOracle(
             "fmmp-eq10", Fmmp(mutation, landscape, variant="eq10").matvec
         ),
+        ProductOracle("fmmp-batched", _batched_matvec(mutation, landscape)),
     ]
     if isinstance(mutation, UniformMutation):
         oracles.append(
@@ -117,6 +122,26 @@ def product_oracles(spec: ProblemSpec) -> list[ProductOracle]:
         if spec.nu <= DENSE_NU:
             oracles.append(ProductOracle("device", _device_matvec(mutation, f)))
     return oracles
+
+
+def _batched_matvec(mutation, landscape) -> Callable[[np.ndarray], np.ndarray]:
+    """Probe the multi-vector kernel through a genuine multi-column block.
+
+    The probe rides column 0 of a 3-column block (the companions are
+    scaled/shifted copies), so the check exercises column isolation and
+    the folded diagonal scalings — a ``matmat`` that leaked state across
+    columns would corrupt the extracted probe column.
+    """
+    from repro.operators.batched import BatchedFmmp
+
+    op = BatchedFmmp(mutation, landscape, form="right")
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        block = np.stack([v, -0.5 * v, v + 1.0], axis=1)
+        return op.matmat(block)[:, 0].copy()
+
+    return matvec
 
 
 def _distributed_matvec(mutation, f: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:

@@ -1,0 +1,279 @@
+"""Batched solve path through the service layer.
+
+Covers the scheduler's block extraction (`plan_batched_jobs`), the
+pool's block execution with per-failure-scope degradation
+(`run_batched`), the `SolverService` wiring (``batched``/``min_batch``
+options, `BatchReport.n_batched`), the manifest/CLI plumbing, and the
+acceptance property: a batched run answers every job with the same
+eigenpairs as the scalar route.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ValidationError
+from repro.service import (
+    BatchedSolveJob,
+    JobResult,
+    SolveJob,
+    SolverService,
+    WorkerPool,
+    execute_batched_job,
+    execute_job,
+    is_batchable,
+    plan_batch,
+    plan_batched_jobs,
+    run_manifest,
+)
+
+NU = 6
+
+
+def sharing_jobs(n=4, method="power", **overrides):
+    """Jobs sharing one mutation operator (same nu/p) across landscapes."""
+    base = dict(nu=NU, p=0.02, method=method, tol=1e-10)
+    base.update(overrides)
+    variants = [
+        dict(landscape="single-peak", peak=2.0),
+        dict(landscape="single-peak", peak=4.0),
+        dict(landscape="random", seed=1),
+        dict(landscape="linear"),
+    ]
+    return [SolveJob(**{**base, **v}) for v in variants[:n]]
+
+
+class TestIsBatchable:
+    def test_power_fmmp_is_batchable(self):
+        assert is_batchable(SolveJob(nu=NU, p=0.02, method="power"))
+
+    def test_other_routes_are_not(self):
+        assert not is_batchable(SolveJob(nu=NU, p=0.02, method="dense"))
+        assert not is_batchable(
+            SolveJob(nu=NU, p=0.02, method="power", operator="xmvp")
+        )
+        # auto on an error-class landscape resolves to the reduced route
+        assert not is_batchable(SolveJob(nu=NU, p=0.02, method="auto"))
+
+
+class TestPlanBatchedJobs:
+    def test_operator_sharing_group_becomes_one_block(self):
+        jobs = sharing_jobs(4)
+        plan = plan_batch(jobs)
+        blocks = plan_batched_jobs(plan)
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert isinstance(block, BatchedSolveJob)
+        assert block.batch == 4
+        assert sorted(block.indices) == list(block.indices)
+        assert all(is_batchable(j) for j in block.jobs)
+
+    def test_distinct_operators_stay_separate(self):
+        jobs = sharing_jobs(2) + sharing_jobs(2, p=0.05)
+        blocks = plan_batched_jobs(plan_batch(jobs))
+        assert len(blocks) == 2
+        keys = {b.key for b in blocks}
+        assert len(keys) == 2
+
+    def test_forms_split_blocks(self):
+        jobs = sharing_jobs(2, form="right") + sharing_jobs(2, form="left")
+        blocks = plan_batched_jobs(plan_batch(jobs))
+        assert sorted(b.form for b in blocks) == ["left", "right"]
+
+    def test_min_batch_filters_small_groups(self):
+        jobs = sharing_jobs(2)
+        assert plan_batched_jobs(plan_batch(jobs), min_batch=3) == []
+        assert len(plan_batched_jobs(plan_batch(jobs), min_batch=2)) == 1
+
+    def test_subset_restricts_membership(self):
+        jobs = sharing_jobs(4)
+        plan = plan_batch(jobs)
+        blocks = plan_batched_jobs(plan, subset=[0, 2])
+        assert len(blocks) == 1 and set(blocks[0].indices) == {0, 2}
+        assert plan_batched_jobs(plan, subset=[1]) == []
+
+    def test_non_batchable_members_excluded(self):
+        jobs = sharing_jobs(3) + [SolveJob(nu=NU, p=0.02, method="dense")]
+        blocks = plan_batched_jobs(plan_batch(jobs))
+        assert len(blocks) == 1 and blocks[0].batch == 3
+
+    def test_block_accuracy_envelope(self):
+        jobs = sharing_jobs(2)
+        loose = SolveJob(nu=NU, p=0.02, method="power", landscape="flat", tol=1e-6,
+                         max_iterations=50)
+        blocks = plan_batched_jobs(plan_batch(jobs + [loose]))
+        assert blocks[0].tol == 1e-10  # tightest member wins
+        assert blocks[0].max_iterations == 100_000
+
+    def test_min_batch_validated(self):
+        with pytest.raises(ValidationError, match="min_batch"):
+            plan_batched_jobs(plan_batch(sharing_jobs(2)), min_batch=0)
+
+
+class TestExecuteBatchedJob:
+    def make_block(self, **overrides):
+        jobs = sharing_jobs(4, **overrides)
+        return plan_batched_jobs(plan_batch(jobs))[0]
+
+    def test_matches_scalar_execute_job(self):
+        block = self.make_block()
+        batched = execute_batched_job(block)
+        assert len(batched) == block.batch
+        for job, res in zip(block.jobs, batched):
+            scalar = execute_job(job)
+            assert res.converged
+            assert res.eigenvalue == pytest.approx(scalar.eigenvalue, rel=1e-8)
+            np.testing.assert_allclose(
+                res.concentrations, scalar.concentrations, atol=1e-7
+            )
+
+    def test_shifted_label_when_auto_shift_applies(self):
+        block = self.make_block()  # method=power, shift=False, uniform -> no auto
+        results = execute_batched_job(block)
+        assert all(r.method == "BPi(Fmmp)" for r in results)
+        shifted = self.make_block(shift=True)
+        results = execute_batched_job(shifted)
+        assert all(r.method == "BPi(Fmmp, shifted)" for r in results)
+
+
+class TestRunBatched:
+    def test_telemetry_carries_batch_size(self):
+        block = plan_batched_jobs(plan_batch(sharing_jobs(3)))[0]
+        pool = WorkerPool(kind="serial")
+        outcomes = pool.run_batched(block)
+        assert len(outcomes) == 3
+        for result, tele in outcomes:
+            assert result is not None and result.converged
+            assert tele.status == "solved"
+            assert tele.route == "batched-power"
+            assert tele.batch == 3
+            assert not tele.fallback_used
+            # round trip keeps the new field
+            assert type(tele).from_dict(tele.to_dict()).batch == 3
+
+    def test_block_failure_degrades_every_member_to_scalar(self):
+        def broken(bjob):
+            raise RuntimeError("kernel exploded")
+
+        block = plan_batched_jobs(plan_batch(sharing_jobs(3)))[0]
+        pool = WorkerPool(kind="serial", batched_solve_fn=broken)
+        outcomes = pool.run_batched(block)
+        for result, tele in outcomes:
+            assert result is not None and result.converged  # scalar rescued it
+            assert tele.fallback_used
+            assert any("kernel exploded" in msg for msg in tele.failures)
+            assert tele.batch == 1
+
+    def test_unconverged_column_degrades_alone(self):
+        def partial(bjob):
+            results = execute_batched_job(bjob)
+            bad = results[1]
+            results[1] = JobResult(
+                eigenvalue=bad.eigenvalue,
+                concentrations=bad.concentrations,
+                method=bad.method,
+                iterations=bad.iterations,
+                residual=1.0,
+                converged=False,
+                tol=bad.tol,
+            )
+            return results
+
+        block = plan_batched_jobs(plan_batch(sharing_jobs(3)))[0]
+        pool = WorkerPool(kind="serial", batched_solve_fn=partial)
+        outcomes = pool.run_batched(block)
+        assert outcomes[0][1].route == "batched-power"
+        assert outcomes[2][1].route == "batched-power"
+        rescue_result, rescue_tele = outcomes[1]
+        assert rescue_result is not None and rescue_result.converged
+        assert rescue_tele.fallback_used
+        assert any("did not converge" in msg for msg in rescue_tele.failures)
+
+    def test_wrong_result_count_degrades_to_scalar(self):
+        def truncated(bjob):
+            return execute_batched_job(bjob)[:-1]
+
+        block = plan_batched_jobs(plan_batch(sharing_jobs(2)))[0]
+        pool = WorkerPool(kind="serial", batched_solve_fn=truncated)
+        outcomes = pool.run_batched(block)
+        assert all(r is not None for r, _ in outcomes)
+        assert all(t.fallback_used for _, t in outcomes)
+
+
+class TestServiceBatched:
+    @pytest.mark.service_smoke
+    def test_batched_and_scalar_services_agree(self):
+        jobs = sharing_jobs(4)
+        batched = SolverService(kind="serial", batched=True).submit(jobs)
+        scalar = SolverService(kind="serial", batched=False).submit(jobs)
+        assert batched.passed and scalar.passed
+        assert batched.n_batched == 4 and scalar.n_batched == 0
+        for rb, rs in zip(batched.results, scalar.results):
+            assert rb.eigenvalue == pytest.approx(rs.eigenvalue, rel=1e-8)
+            np.testing.assert_allclose(
+                rb.concentrations, rs.concentrations, atol=1e-7
+            )
+
+    @pytest.mark.service_smoke
+    def test_batched_results_are_cached(self):
+        service = SolverService(kind="serial", batched=True)
+        jobs = sharing_jobs(3)
+        first = service.submit(jobs)
+        second = service.submit(jobs)
+        assert first.n_batched == 3 and first.n_cached == 0
+        assert second.n_solved == 0 and second.n_cached == 3
+
+    def test_min_batch_keeps_small_groups_scalar(self):
+        jobs = sharing_jobs(2)
+        report = SolverService(kind="serial", batched=True, min_batch=3).submit(jobs)
+        assert report.passed and report.n_batched == 0
+
+    def test_mixed_manifest_batches_only_the_sharing_group(self):
+        jobs = sharing_jobs(3) + [
+            SolveJob(nu=NU, p=0.01),  # auto -> reduced, scalar
+            SolveJob(nu=NU, p=0.02, method="dense", landscape="random", seed=9),
+        ]
+        report = SolverService(kind="serial", batched=True).submit(jobs)
+        assert report.passed
+        assert report.n_batched == 3
+        assert report.to_dict()["batched"] == 3
+
+    def test_min_batch_validated(self):
+        with pytest.raises(ValidationError, match="min_batch"):
+            SolverService(kind="serial", min_batch=0)
+
+
+def _sharing_manifest(tmp_path, options=None):
+    data = {
+        "defaults": {"nu": NU, "p": 0.02, "method": "power", "tol": 1e-10},
+        "jobs": [
+            {"landscape": "single-peak", "peak": 2.0},
+            {"landscape": "single-peak", "peak": 4.0},
+            {"landscape": "random", "seed": 1},
+        ],
+        "options": options or {},
+    }
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestManifestAndCli:
+    def test_manifest_batched_option(self, tmp_path):
+        path = _sharing_manifest(tmp_path, options={"kind": "serial", "batched": False})
+        report = run_manifest(path)
+        assert report.passed and report.n_batched == 0
+        report = run_manifest(path, batched=True)  # override wins
+        assert report.passed and report.n_batched == 3
+
+    def test_cli_batched_flag_round_trip(self, tmp_path, capsys):
+        path = _sharing_manifest(tmp_path, options={"kind": "serial"})
+        out_json = str(tmp_path / "report.json")
+        assert main(["batch", path, "--quiet", "--json", out_json]) == 0
+        report = json.loads(open(out_json).read())
+        assert report["batched"] == 3
+        assert main(["batch", path, "--no-batched", "--quiet", "--json", out_json]) == 0
+        report = json.loads(open(out_json).read())
+        assert report["batched"] == 0

@@ -89,6 +89,33 @@ class TestFwht:
         with pytest.raises(ValidationError):
             fwht(np.zeros(1))
 
-    def test_rejects_2d(self):
+    def test_block_matches_column_transforms(self):
+        rng = np.random.default_rng(7)
+        block = rng.standard_normal((16, 5))
+        expected = np.stack([fwht(block[:, j]) for j in range(5)], axis=1)
+        np.testing.assert_allclose(fwht(block), expected, atol=1e-12)
+
+    def test_block_in_place(self):
+        rng = np.random.default_rng(8)
+        block = np.ascontiguousarray(rng.standard_normal((8, 3)))
+        expected = fwht(block.copy())
+        out = fwht(block, in_place=True)
+        assert out is block
+        np.testing.assert_allclose(block, expected)
+
+    def test_rejects_3d(self):
         with pytest.raises(ValidationError):
-            fwht(np.zeros((2, 2)))
+            fwht(np.zeros((2, 2, 2)))
+
+    def test_in_place_rejects_non_float64(self):
+        with pytest.raises(ValidationError, match="float64"):
+            fwht(np.arange(8), in_place=True)
+
+    def test_in_place_rejects_non_contiguous(self):
+        v = np.arange(16, dtype=np.float64)[::2]
+        with pytest.raises(ValidationError, match="contiguous"):
+            fwht(v, in_place=True)
+
+    def test_in_place_rejects_list(self):
+        with pytest.raises(ValidationError, match="float64"):
+            fwht([1.0, 2.0, 3.0, 4.0], in_place=True)
