@@ -20,6 +20,7 @@ from repro.bitops.classes import (
     masks_up_to_distance,
 )
 from repro.bitops.graycode import gray_code, gray_permutation, inverse_permutation
+from repro.bitops.panels import panel_bounds, split_stages, stage_is_local
 
 __all__ = [
     "popcount",
@@ -35,4 +36,7 @@ __all__ = [
     "gray_code",
     "gray_permutation",
     "inverse_permutation",
+    "panel_bounds",
+    "split_stages",
+    "stage_is_local",
 ]

@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     solve.add_argument("--tol", type=float, default=1e-12)
+    solve.add_argument("--threads", type=int, default=None,
+                       help="panel-engine threads for the fmmp butterfly "
+                       "(default: REPRO_NUM_THREADS or 1)")
     solve.add_argument("--classes", type=int, default=6, help="error classes to print")
     solve.add_argument("--save", metavar="PATH", help="save the result as .npz")
 
@@ -148,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="spec count for --grid random")
     verify.add_argument("--no-solvers", action="store_true",
                         help="skip the solver-oracle tier (products + invariants only)")
+    verify.add_argument("--threads", type=int, default=None,
+                        help="panel-engine threads for the fmmp-parallel oracle "
+                        "(default: REPRO_NUM_THREADS or 1)")
     verify.add_argument("--json", metavar="PATH", default="verify-report.json",
                         help="where to write the JSON report ('-' for stdout)")
     verify.add_argument("--quiet", action="store_true",
@@ -165,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="pool_kind", help="worker pool kind")
     batch.add_argument("--timeout", type=float, help="per-attempt timeout [s]")
     batch.add_argument("--retries", type=int, help="retries per route")
+    batch.add_argument("--threads", type=int, default=None,
+                       help="panel-engine threads per worker (workers are "
+                       "capped at cpu_count//threads to avoid oversubscription)")
     batch.add_argument(
         "--batched",
         action=argparse.BooleanOptionalAction,
@@ -185,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_solve(args) -> int:
     ls = _make_landscape(args.landscape, args.nu, peak=args.peak, floor=args.floor, seed=args.seed)
     model = QuasispeciesModel(ls, p=args.p)
-    result = model.solve(args.method, tol=args.tol)
+    result = model.solve(args.method, tol=args.tol, threads=args.threads)
     print(f"landscape   : {args.landscape} (nu={args.nu})")
     print(f"error rate  : p = {args.p}")
     print(f"solver      : {result.method}")
@@ -335,6 +344,7 @@ def _cmd_verify(args) -> int:
         seed=args.seed,
         count=args.count,
         solvers=not args.no_solvers,
+        threads=args.threads,
         progress=progress,
     )
     if args.json == "-":
@@ -372,6 +382,7 @@ def _cmd_batch(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         batched=args.batched,
+        threads=args.threads,
     )
     if not args.quiet:
         rows = []

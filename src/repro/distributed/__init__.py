@@ -24,7 +24,12 @@ is modeled exactly like the device layer models kernels):
 """
 
 from repro.distributed.cluster import CommLink, ClusterProfile
-from repro.distributed.partition import PartitionedVector
+from repro.distributed.partition import (
+    PartitionedVector,
+    panel_bounds,
+    split_stages,
+    stage_is_local,
+)
 from repro.distributed.fmmp import DistributedFmmp
 from repro.distributed.power import DistributedPowerIteration, DistributedRunReport
 
@@ -32,6 +37,9 @@ __all__ = [
     "CommLink",
     "ClusterProfile",
     "PartitionedVector",
+    "panel_bounds",
+    "split_stages",
+    "stage_is_local",
     "DistributedFmmp",
     "DistributedPowerIteration",
     "DistributedRunReport",

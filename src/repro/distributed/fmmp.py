@@ -29,7 +29,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.distributed.cluster import ClusterProfile
-from repro.distributed.partition import PartitionedVector
+from repro.distributed.partition import PartitionedVector, split_stages
 from repro.exceptions import ValidationError
 from repro.transforms.butterfly import apply_stage
 
@@ -62,8 +62,10 @@ class DistributedFmmp:
                 f"(N = {self.n})"
             )
         self.block_size = self.n // cluster.ranks
-        self.local_stages = self.block_size.bit_length() - 1  # log2(B)
-        self.cross_stages = cluster.dimensions
+        # Shared stage-split math: bottom log2(B) stages are rank-local,
+        # top log2(R) pair across ranks (same helper the shared-memory
+        # panel engine classifies its sweeps with).
+        self.local_stages, self.cross_stages = split_stages(self.nu, cluster.ranks)
 
     # ------------------------------------------------------------- numerics
     def apply(self, v: PartitionedVector) -> PartitionedVector:

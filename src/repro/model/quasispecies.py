@@ -106,6 +106,7 @@ class QuasispeciesModel:
         form: str = "right",
         dmax: int | None = None,
         shift: bool | float = False,
+        threads: int | None = None,
     ):
         """Construct the implicit ``W`` operator (optionally shifted).
 
@@ -122,13 +123,17 @@ class QuasispeciesModel:
             ``True`` → the paper's conservative ``μ = (1−2p)^ν f_min``
             (uniform mutation only); a float → that explicit shift;
             ``False`` → unshifted.
+        threads:
+            Engine threads for the panel-parallel ``fmmp`` butterfly
+            (``None`` → ``REPRO_NUM_THREADS`` or 1); the baselines
+            (``xmvp``/``smvp``) are serial and ignore it.
         """
         if operator not in _OPERATORS:
             raise ValidationError(f"operator must be one of {_OPERATORS}, got {operator!r}")
         if form not in FORMS:
             raise ValidationError(f"form must be one of {FORMS}, got {form!r}")
         if operator == "fmmp":
-            op = Fmmp(self.mutation, self.landscape, form=form)
+            op = Fmmp(self.mutation, self.landscape, form=form, threads=threads)
         elif operator == "xmvp":
             if not isinstance(self.mutation, UniformMutation):
                 raise ValidationError("xmvp requires the uniform mutation model")
@@ -161,12 +166,18 @@ class QuasispeciesModel:
         shift: bool | float = False,
         max_iterations: int = 100_000,
         record_history: bool = False,
+        threads: int | None = None,
     ) -> SolveResult | KroneckerSolveResult:
         """Compute the quasispecies (dominant eigenpair of ``W``).
 
         ``method="auto"`` picks the structurally best solver:
         Kronecker decoupling → exact (ν+1) reduction → shifted
         ``Pi(Fmmp)``, in that order of preference.
+
+        ``threads`` turns on the panel-parallel butterfly for the
+        iterative ``fmmp`` routes (reductions stay deterministic via the
+        operator's panel reducer); the structural routes (kronecker /
+        reduced / dense) are unaffected.
         """
         if method not in _METHODS:
             raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
@@ -196,18 +207,24 @@ class QuasispeciesModel:
         if method == "dense":
             return dense_solve(self.mutation, self.landscape, form=form)
         if method == "lanczos":
-            op = self.build_operator(operator, form="symmetric", dmax=dmax, shift=False)
+            op = self.build_operator(
+                operator, form="symmetric", dmax=dmax, shift=False, threads=threads
+            )
             start = np.sqrt(self.landscape.values())
             return Lanczos(op, tol=tol).solve(start, landscape=self.landscape, form="symmetric")
         if method == "arnoldi":
             from repro.solvers.arnoldi import Arnoldi
 
-            op = self.build_operator(operator, form=form, dmax=dmax, shift=False)
+            op = self.build_operator(
+                operator, form=form, dmax=dmax, shift=False, threads=threads
+            )
             return Arnoldi(op, tol=tol).solve(
                 self.landscape.start_vector(), landscape=self.landscape, form=form
             )
 
-        op = self.build_operator(operator, form=form, dmax=dmax, shift=shift)
+        op = self.build_operator(
+            operator, form=form, dmax=dmax, shift=shift, threads=threads
+        )
         pi = PowerIteration(
             op, tol=tol, max_iterations=max_iterations, record_history=record_history
         )

@@ -62,6 +62,15 @@ class BatchedFmmp(ImplicitOperator):
         ``right``/``symmetric``/``left`` (Eqs. 3–5), applied per column.
     variant:
         Stage traversal order, ``"eq9"`` or ``"eq10"``.
+    threads:
+        Panel-engine thread count (``None`` reads ``REPRO_NUM_THREADS``,
+        default 1).  With ``threads > 1`` (or explicit ``panels``)
+        :meth:`matmat` runs the panel-parallel fused kernel — output
+        bit-identical to the serial kernel for every ``(threads,
+        panels)``; grouped models keep their serial per-column fallback.
+    panels:
+        Panel count ``R``; defaults to the roofline
+        :func:`repro.perf.parallel.auto_panels` pick.
 
     Examples
     --------
@@ -79,6 +88,9 @@ class BatchedFmmp(ImplicitOperator):
         landscapes: FitnessLandscape | Sequence[FitnessLandscape],
         form: str = "right",
         variant: str = "eq9",
+        *,
+        threads: int | None = None,
+        panels: int | None = None,
     ):
         if form not in FORMS:
             raise ValidationError(f"form must be one of {FORMS}, got {form!r}")
@@ -125,6 +137,33 @@ class BatchedFmmp(ImplicitOperator):
         else:  # pragma: no cover - future models fall back to .apply
             self._bit_factors = None
             self._blocks = None
+
+        # Lazy imports: repro.transforms.parallel touches the distributed
+        # package, which imports the solver stack above this module.
+        from repro.transforms.parallel import resolve_threads
+
+        self.threads = resolve_threads(threads)
+        parallel_requested = self.threads > 1 or panels is not None
+        self.panels = 1
+        self.panel_reducer = None
+        self._engine = None
+        if parallel_requested and self._bit_factors is not None:
+            from repro.perf.parallel import auto_panels
+            from repro.transforms.parallel import (
+                PanelReducer,
+                get_engine,
+                resolve_panels,
+            )
+
+            if panels is None:
+                self.panels = auto_panels(
+                    mutation.nu, self.batch, threads=self.threads
+                )
+            else:
+                self.panels = resolve_panels(panels, mutation.nu, threads=self.threads)
+            self._engine = get_engine(self.threads)
+            self.panel_reducer = PanelReducer(self.panels, engine=self._engine)
+        self._parallel = parallel_requested and self._bit_factors is not None
 
     # --------------------------------------------------------------- state
     @property
@@ -204,6 +243,20 @@ class BatchedFmmp(ImplicitOperator):
             return np.empty((self.n, 0), dtype=np.float64)
         pre, post = self._scales(columns)
         if self._bit_factors is not None:
+            if self._parallel:
+                from repro.transforms.parallel import parallel_butterfly_transform
+
+                return parallel_butterfly_transform(
+                    arr,
+                    self._bit_factors,
+                    variant=self.variant,
+                    pre_scale=pre,
+                    post_scale=post,
+                    panels=self.panels,
+                    engine=self._engine,
+                    out=out,
+                    scratch=scratch,
+                )
             return batched_butterfly_transform(
                 arr,
                 self._bit_factors,

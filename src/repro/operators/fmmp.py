@@ -20,9 +20,6 @@ matters for memory-access order, which is why the paper mentions both.
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-
 import numpy as np
 
 from repro.exceptions import ValidationError
@@ -33,45 +30,11 @@ from repro.mutation.persite import PerSiteMutation
 from repro.mutation.uniform import UniformMutation
 from repro.operators.base import FormMixin, ImplicitOperator, OperatorCosts
 from repro.transforms.kronecker import kron_matvec
+from repro.util.scratch import ScratchPool
 
 __all__ = ["Fmmp"]
 
 _VARIANTS = ("eq9", "eq10")
-
-
-class _ScratchPool:
-    """Reentrant pool of scratch-half pairs for the in-situ butterfly.
-
-    ``Fmmp`` used to keep a single ``(s1, s2)`` scratch tuple as operator
-    state, which made concurrent :meth:`Fmmp.matvec` calls on a shared
-    instance race on the same buffers (the service worker pool shares one
-    operator per job group).  The pool hands each in-flight product its
-    own pair — lock-protected free list, allocate on miss — so calls are
-    reentrant while the steady-state single-threaded case still reuses
-    one allocation.
-    """
-
-    def __init__(self, half: int, max_idle: int = 4):
-        self._half = half
-        self._max_idle = max_idle
-        self._lock = threading.Lock()
-        self._free: deque[tuple[np.ndarray, np.ndarray]] = deque()
-
-    def acquire(self) -> tuple[np.ndarray, np.ndarray]:
-        with self._lock:
-            if self._free:
-                return self._free.popleft()
-        return (np.empty(self._half), np.empty(self._half))
-
-    def release(self, pair: tuple[np.ndarray, np.ndarray]) -> None:
-        with self._lock:
-            if len(self._free) < self._max_idle:
-                self._free.append(pair)
-
-    @property
-    def idle(self) -> int:
-        with self._lock:
-            return len(self._free)
 
 
 class Fmmp(ImplicitOperator, FormMixin):
@@ -89,6 +52,23 @@ class Fmmp(ImplicitOperator, FormMixin):
     variant:
         ``"eq9"`` (ascending spans, Algorithm 1) or ``"eq10"``
         (descending spans).
+    threads:
+        Panel-engine thread count (``None`` reads ``REPRO_NUM_THREADS``,
+        default 1).  With ``threads > 1`` (or an explicit ``panels``)
+        2×2-factored models route :meth:`matvec` through the
+        panel-parallel stage-fused kernel
+        (:func:`repro.transforms.parallel.parallel_butterfly_transform`);
+        the output is **bit-identical** for every ``(threads, panels)``
+        combination, including the ``panels=1`` serial fused engine (it
+        differs from the legacy 7-pass scalar path only at rounding
+        level, which the verification grids bound at 1e−12).  Grouped
+        models have no butterfly to parallelize and silently stay on
+        their serial contraction.
+    panels:
+        Panel count ``R`` (power of two) for the parallel kernel;
+        defaults to the roofline model's
+        :func:`repro.perf.parallel.auto_panels` pick for
+        ``(ν, 1, threads)``.
 
     Examples
     --------
@@ -106,6 +86,9 @@ class Fmmp(ImplicitOperator, FormMixin):
         landscape: FitnessLandscape,
         form: str = "right",
         variant: str = "eq9",
+        *,
+        threads: int | None = None,
+        panels: int | None = None,
     ):
         if mutation.nu != landscape.nu:
             raise ValidationError(
@@ -118,19 +101,50 @@ class Fmmp(ImplicitOperator, FormMixin):
         self.n = mutation.n
         self._init_form(landscape, form)
 
+        # Lazy import: repro.transforms.parallel reaches into the
+        # distributed package (shared stage-split math), which imports
+        # the solvers, which import this module.
+        from repro.transforms.parallel import resolve_threads
+
+        self.threads = resolve_threads(threads)
+        parallel_requested = self.threads > 1 or panels is not None
+        self.panels = 1
+        self.panel_reducer = None
+        self._engine = None
+
         if isinstance(mutation, (UniformMutation, PerSiteMutation)):
             self._bit_factors = mutation.factors_per_bit()
             self._blocks = None
-            # Scratch for the allocation-free stage sweep (half the
-            # vector each).  Acquired per call from a reentrant pool so
-            # concurrent workers can share one operator instance.
-            self._scratch_pool = _ScratchPool(self.n // 2)
+            # Scratch for the allocation-free sweeps.  Acquired per call
+            # from a bounded keyed pool so concurrent workers can share
+            # one operator instance; the parallel engine's (N, B) blocks
+            # ride the same pool.
+            self._scratch_pool = ScratchPool()
+            if parallel_requested:
+                from repro.perf.parallel import auto_panels
+                from repro.transforms.parallel import (
+                    PanelReducer,
+                    get_engine,
+                    resolve_panels,
+                )
+
+                if panels is None:
+                    self.panels = auto_panels(
+                        mutation.nu, 1, threads=self.threads
+                    )
+                else:
+                    self.panels = resolve_panels(
+                        panels, mutation.nu, threads=self.threads
+                    )
+                self._engine = get_engine(self.threads)
+                self.panel_reducer = PanelReducer(self.panels, engine=self._engine)
         elif isinstance(mutation, GroupedMutation):
             self._bit_factors = None
             self._blocks = mutation.blocks()
         else:  # pragma: no cover - future models fall back to .apply
             self._bit_factors = None
             self._blocks = None
+        self._parallel = parallel_requested and self._bit_factors is not None
 
     # ------------------------------------------------------------- product
     def _q_fast(self, w: np.ndarray) -> np.ndarray:
@@ -142,9 +156,9 @@ class Fmmp(ImplicitOperator, FormMixin):
         if self._bit_factors is not None:
             nu = self.mutation.nu
             stages = range(nu) if self.variant == "eq9" else range(nu - 1, -1, -1)
-            pair = self._scratch_pool.acquire()
+            half = (self.n // 2,)
+            s1, s2 = self._scratch_pool.acquire(half), self._scratch_pool.acquire(half)
             try:
-                s1, s2 = pair
                 for s in stages:
                     span = 1 << s
                     m = self._bit_factors[s]
@@ -164,14 +178,49 @@ class Fmmp(ImplicitOperator, FormMixin):
                     lo += b  # new_lo, written in place
                     hi[:] = a
             finally:
-                self._scratch_pool.release(pair)
+                self._scratch_pool.release(s1, s2)
             return w
         if self._blocks is not None:
             return kron_matvec(self._blocks, w)
         return self.mutation.apply(w)
 
+    def _matvec_parallel(self, v: np.ndarray) -> np.ndarray:
+        """Panel-parallel fused product (``threads``/``panels`` engaged).
+
+        Bit-identical to the serial stage-fused kernel for every panel
+        and thread count — the diagonal ``F``/``F^{1/2}`` scalings fold
+        into the sweep schedule exactly as in
+        :meth:`repro.operators.batched.BatchedFmmp.matmat`.
+        """
+        from repro.transforms.parallel import parallel_butterfly_transform
+
+        if self.form == "right":
+            pre, post = self._f, None
+        elif self.form == "symmetric":
+            pre, post = self._sqrt_f, self._sqrt_f
+        else:  # left
+            pre, post = None, self._f
+        shape = (self.n, 1)
+        scratch = self._scratch_pool.acquire(shape)
+        try:
+            out = parallel_butterfly_transform(
+                v.reshape(shape),
+                self._bit_factors,
+                variant=self.variant,
+                pre_scale=pre,
+                post_scale=post,
+                panels=self.panels,
+                engine=self._engine,
+                scratch=scratch,
+            )
+        finally:
+            self._scratch_pool.release(scratch)
+        return out.reshape(self.n)
+
     def matvec(self, v: np.ndarray) -> np.ndarray:
         v = self.check(v)
+        if self._parallel:
+            return self._matvec_parallel(v)
         if self.form == "left":
             # _apply_form would hand the original v to q_apply; the
             # in-situ butterfly must not clobber the caller's vector.

@@ -30,6 +30,19 @@ from repro.perf.batched import (
     measure_batched_matmat,
     measured_crossover,
 )
+from repro.perf.parallel import (
+    HostModel,
+    DEFAULT_HOST,
+    ParallelCosts,
+    parallel_fmmp_costs,
+    modeled_thread_speedup,
+    modeled_thread_crossover,
+    auto_panels,
+    ParallelMeasurement,
+    measure_parallel_matmat,
+    measured_thread_scaling,
+    measured_thread_crossover,
+)
 from repro.perf.model import (
     predict_matvec_time,
     predict_power_iteration_time,
@@ -47,6 +60,17 @@ __all__ = [
     "BatchedMeasurement",
     "measure_batched_matmat",
     "measured_crossover",
+    "HostModel",
+    "DEFAULT_HOST",
+    "ParallelCosts",
+    "parallel_fmmp_costs",
+    "modeled_thread_speedup",
+    "modeled_thread_crossover",
+    "auto_panels",
+    "ParallelMeasurement",
+    "measure_parallel_matmat",
+    "measured_thread_scaling",
+    "measured_thread_crossover",
     "xmvp_costs",
     "smvp_costs",
     "xmvp_mask_count",

@@ -26,6 +26,7 @@ them.
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from concurrent.futures import (
@@ -234,13 +235,19 @@ def _solve_shift_invert(job: SolveJob) -> JobResult:
     )
 
 
-def execute_job(job: SolveJob) -> JobResult:
+def execute_job(job: SolveJob, *, threads: int | None = None) -> JobResult:
     """Solve one job synchronously (the pool's default worker body).
 
     Module-level and picklable, so it crosses process boundaries; the
     reduced route reproduces
     :class:`~repro.solvers.reduced.ReducedSolver` output bit-for-bit
     (the parallel sweep's regression tests rely on it).
+
+    ``threads`` (pool-level, **not** part of the job's content hash —
+    thread count must never change what a job computes, only how fast)
+    turns on the panel-parallel butterfly for the iterative fmmp
+    routes.  Bound via ``functools.partial`` so the partial still
+    pickles into process workers.
     """
     from repro.model.quasispecies import QuasispeciesModel
     from repro.solvers.reduced import ReducedSolver
@@ -274,6 +281,7 @@ def execute_job(job: SolveJob) -> JobResult:
         tol=job.tol,
         shift=job.shift,
         max_iterations=job.max_iterations,
+        threads=threads,
     )
     return JobResult(
         eigenvalue=float(res.eigenvalue),
@@ -314,7 +322,7 @@ def _effective_shift(job: SolveJob, mutation, landscape) -> float:
     return float(shift)
 
 
-def execute_batched_job(bjob) -> list:
+def execute_batched_job(bjob, *, threads: int | None = None) -> list:
     """Solve a :class:`~repro.service.scheduler.BatchedSolveJob`.
 
     Builds the shared mutation operator once, stacks the per-job
@@ -336,7 +344,7 @@ def execute_batched_job(bjob) -> list:
     shifts = np.array(
         [_effective_shift(job, mutation, land) for job, land in zip(jobs, landscapes)]
     )
-    op = BatchedFmmp(mutation, landscapes, form=bjob.form)
+    op = BatchedFmmp(mutation, landscapes, form=bjob.form, threads=threads)
     solver = BlockPowerIteration(
         op,
         shifts=shifts,
@@ -443,6 +451,14 @@ class WorkerPool:
         Override for the batched-block worker body (defaults to
         :func:`execute_batched_job`); fault-injection tests use it to
         exercise the batched → scalar degradation path.
+    threads:
+        Panel-engine threads per worker (``None`` →
+        ``REPRO_NUM_THREADS`` or 1).  Bound into the default worker
+        bodies with ``functools.partial`` — the thread count is an
+        execution knob, never part of a job's content hash.  When
+        ``threads > 1`` the effective worker count is capped at
+        ``cpu_count // threads`` (at least 1) so pool workers × engine
+        threads never oversubscribe the host.
     """
 
     def __init__(
@@ -455,6 +471,7 @@ class WorkerPool:
         backoff: float = 0.05,
         solve_fn=None,
         batched_solve_fn=None,
+        threads: int | None = None,
     ):
         if kind not in _POOL_KINDS:
             raise ValidationError(f"kind must be one of {_POOL_KINDS}, got {kind!r}")
@@ -464,13 +481,33 @@ class WorkerPool:
             raise ValidationError(f"retries must be >= 0, got {retries}")
         if timeout is not None and timeout <= 0:
             raise ValidationError(f"timeout must be positive, got {timeout}")
+        from repro.transforms.parallel import resolve_threads
+
         self.workers = workers
         self.kind = kind
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.threads = resolve_threads(threads)
+        if solve_fn is None and self.threads > 1:
+            solve_fn = functools.partial(execute_job, threads=self.threads)
+        if batched_solve_fn is None and self.threads > 1:
+            batched_solve_fn = functools.partial(
+                execute_batched_job, threads=self.threads
+            )
         self.solve_fn = solve_fn or execute_job
         self.batched_solve_fn = batched_solve_fn or execute_batched_job
+
+    def effective_workers(self, n_jobs: int) -> int:
+        """Worker count for ``n_jobs``: the requested (or cpu_count)
+        figure, capped at the job count and — when each worker drives a
+        multi-threaded panel engine — at ``cpu_count // threads`` so
+        the pool never oversubscribes the host."""
+        cpus = os.cpu_count() or 1
+        workers = min(n_jobs, self.workers or cpus)
+        if self.threads > 1:
+            workers = min(workers, max(1, cpus // self.threads))
+        return max(1, workers)
 
     # ----------------------------------------------------------------- run
     def run(self, jobs: list[SolveJob]) -> list[tuple[JobResult | None, JobTelemetry]]:
@@ -482,7 +519,7 @@ class WorkerPool:
         states = [_JobState(job, fallback_routes(job)) for job in jobs]
         if not states:
             return []
-        workers = min(len(states), self.workers or os.cpu_count() or 1)
+        workers = self.effective_workers(len(states))
         if self.kind == "serial" or workers == 1:
             return [self._run_serial(state) for state in states]
         return self._run_executor(states, workers)
@@ -573,11 +610,22 @@ class WorkerPool:
     def _run_executor(
         self, states: list[_JobState], workers: int
     ) -> list[tuple[JobResult | None, JobTelemetry]]:
-        executor_cls = ThreadPoolExecutor if self.kind == "thread" else ProcessPoolExecutor
         outcomes: list[tuple[JobResult | None, JobTelemetry]] = [None] * len(states)
         active = list(range(len(states)))
         wave = 0
-        with executor_cls(max_workers=workers) as pool:
+        if self.kind == "thread":
+            executor = ThreadPoolExecutor(max_workers=workers)
+        else:
+            # Process workers pin their BLAS pools to one thread on
+            # startup: the pool (and, with threads > 1, each worker's
+            # panel engine) owns the parallelism — nested BLAS teams
+            # would oversubscribe the host (see repro.util.blas).
+            from repro.util.blas import pin_blas_env
+
+            executor = ProcessPoolExecutor(
+                max_workers=workers, initializer=pin_blas_env
+            )
+        with executor as pool:
             while active:
                 submissions = []
                 for i in active:

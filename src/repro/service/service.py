@@ -23,7 +23,8 @@ Manifest format
 Each job entry is a :meth:`SolveJob.from_dict` payload merged over
 ``defaults``.  ``options`` feeds the :class:`SolverService` constructor
 (``workers``, ``kind``, ``timeout``, ``retries``, ``backoff``,
-``capacity``, ``cache_dir``) and is overridable from the CLI.  YAML
+``capacity``, ``cache_dir``, ``batched``, ``min_batch``, ``threads``)
+and is overridable from the CLI.  YAML
 manifests work when PyYAML is installed (the dependency is optional and
 gated).
 """
@@ -52,6 +53,7 @@ _OPTION_KEYS = (
     "cache_dir",
     "batched",
     "min_batch",
+    "threads",
 )
 
 
@@ -177,6 +179,12 @@ class SolverService:
         ``True``); ``False`` forces per-job scalar solves.
     min_batch:
         Smallest group size worth batching (default 2).
+    threads:
+        Panel-engine threads per worker for the fmmp routes (``None``
+        → ``REPRO_NUM_THREADS`` or 1).  An execution knob only: it
+        never enters a job's content hash, so cached results are shared
+        across thread counts.  The pool caps its worker count at
+        ``cpu_count // threads`` to avoid oversubscription.
 
     Examples
     --------
@@ -203,6 +211,7 @@ class SolverService:
         batched_solve_fn=None,
         batched: bool = True,
         min_batch: int = 2,
+        threads: int | None = None,
     ):
         if min_batch < 1:
             raise ValidationError(f"min_batch must be >= 1, got {min_batch}")
@@ -215,6 +224,7 @@ class SolverService:
             backoff=backoff,
             solve_fn=solve_fn,
             batched_solve_fn=batched_solve_fn,
+            threads=threads,
         )
         self.batched = bool(batched)
         self.min_batch = int(min_batch)

@@ -49,6 +49,13 @@ class PowerIteration:
         ``raise_on_fail=False``.
     record_history:
         Keep a per-iteration (λ, residual) trace.
+    reducer:
+        Optional :class:`~repro.transforms.parallel.PanelReducer` used for
+        the iteration's reductions (1-norm estimate and residual).
+        Defaults to the operator's own ``panel_reducer`` attribute when it
+        has one (set by ``Fmmp(threads=...)``), so threaded operators get
+        panel-ordered, run-to-run deterministic reductions automatically;
+        serial operators keep the plain NumPy reductions.
 
     Notes
     -----
@@ -67,6 +74,7 @@ class PowerIteration:
         tol: float = 1e-12,
         max_iterations: int = 100_000,
         record_history: bool = False,
+        reducer=None,
     ):
         if tol <= 0.0:
             raise ValidationError(f"tol must be positive, got {tol}")
@@ -76,6 +84,9 @@ class PowerIteration:
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.record_history = bool(record_history)
+        self.reducer = reducer if reducer is not None else getattr(
+            operator, "panel_reducer", None
+        )
 
     # --------------------------------------------------------------- solve
     def solve(
@@ -121,9 +132,13 @@ class PowerIteration:
         lam = 0.0
         residual = np.inf
         iterations = 0
+        red = self.reducer
         for iterations in range(1, self.max_iterations + 1):
             y = op.matvec(x)
-            lam = float(np.abs(y).sum())  # 1-norm estimate; y > 0 near the fixed point
+            # 1-norm estimate; y > 0 near the fixed point.  With a panel
+            # reducer the sum is panel-partitioned and combined in fixed
+            # panel order — byte-identical across runs and thread counts.
+            lam = red.abs_sum(y) if red is not None else float(np.abs(y).sum())
             if lam <= 0.0:
                 raise ConvergenceError(
                     "iterate collapsed to zero — W is not acting as a positive operator",
@@ -132,7 +147,10 @@ class PowerIteration:
                 )
             y /= lam
             # Residual of the *normalized* pair: ‖W x − λ x‖₂ = λ‖y − x‖₂.
-            residual = lam * float(np.linalg.norm(y - x))
+            if red is not None:
+                residual = lam * red.diff_norm(y, x)
+            else:
+                residual = lam * float(np.linalg.norm(y - x))
             x = y
             if self.record_history:
                 history.append(IterationRecord(iterations, lam + mu, residual))
@@ -234,6 +252,12 @@ class BlockPowerIteration:
     tol, max_iterations, record_history:
         As for :class:`PowerIteration`; the residual criterion
         ``‖W_j x_j − λ_j x_j‖₂ < τ`` is applied per column.
+    reducer:
+        Optional :class:`~repro.transforms.parallel.PanelReducer`; the
+        per-column 1-norms and residuals become panel-partitioned partial
+        sums combined in fixed panel order (axis-0 reductions per column).
+        Defaults to the operator's ``panel_reducer`` attribute (set by
+        ``BatchedFmmp(threads=...)``).
     """
 
     def __init__(
@@ -244,6 +268,7 @@ class BlockPowerIteration:
         tol: float = 1e-12,
         max_iterations: int = 100_000,
         record_history: bool = False,
+        reducer=None,
     ):
         if tol <= 0.0:
             raise ValidationError(f"tol must be positive, got {tol}")
@@ -254,6 +279,9 @@ class BlockPowerIteration:
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.record_history = bool(record_history)
+        self.reducer = reducer if reducer is not None else getattr(
+            operator, "panel_reducer", None
+        )
 
     # ------------------------------------------------------------ plumbing
     def _resolve_batch(self, starts: np.ndarray | None) -> int:
@@ -367,6 +395,7 @@ class BlockPowerIteration:
         histories: list[list[IterationRecord]] = [[] for _ in range(b)]
         sweeps = 0
 
+        red = self.reducer
         while active and sweeps < self.max_iterations:
             sweeps += 1
             kwargs = {"columns": active} if per_column else {}
@@ -374,7 +403,9 @@ class BlockPowerIteration:
             mu_act = mu[active]
             if np.any(mu_act != 0.0):
                 y = y - x * mu_act[None, :]
-            lam_act = np.abs(y).sum(axis=0)
+            # Panel-ordered per-column 1-norms when a reducer is present
+            # (byte-identical across runs and thread counts at fixed R).
+            lam_act = red.abs_sum(y) if red is not None else np.abs(y).sum(axis=0)
             if np.any(lam_act <= 0.0):
                 bad = active[int(np.argmin(lam_act))]
                 raise ConvergenceError(
@@ -384,7 +415,10 @@ class BlockPowerIteration:
                     residual=float("nan"),
                 )
             y = y / lam_act[None, :]
-            res_act = lam_act * np.linalg.norm(y - x, axis=0)
+            if red is not None:
+                res_act = lam_act * red.diff_norm(y, x)
+            else:
+                res_act = lam_act * np.linalg.norm(y - x, axis=0)
 
             if self.record_history:
                 for k, j in enumerate(active):

@@ -31,6 +31,16 @@ from repro.transforms.batched import (
     fused_stage_count,
     batched_butterfly_transform,
 )
+from repro.transforms.parallel import (
+    PanelEngine,
+    PanelReducer,
+    parallel_butterfly_transform,
+    resolve_threads,
+    resolve_panels,
+    max_panels,
+    get_engine,
+    shutdown_engines,
+)
 from repro.transforms.fwht import fwht, fwht_inverse, fwht_matrix
 from repro.transforms.kronecker import kron_matvec, kron_vector, kron_diagonal
 
@@ -42,6 +52,14 @@ __all__ = [
     "fused_stage_plan",
     "fused_stage_count",
     "batched_butterfly_transform",
+    "PanelEngine",
+    "PanelReducer",
+    "parallel_butterfly_transform",
+    "resolve_threads",
+    "resolve_panels",
+    "max_panels",
+    "get_engine",
+    "shutdown_engines",
     "fwht",
     "fwht_inverse",
     "fwht_matrix",

@@ -1,0 +1,111 @@
+"""Bounded, keyed scratch-buffer pool shared by the product kernels.
+
+``Fmmp`` used to keep an unbounded-by-shape free list of scalar scratch
+halves; with the batched and panel-parallel engines also wanting
+reusable ``(N, B)`` blocks, an unkeyed pool would grow one entry per
+distinct request shape and never shrink.  :class:`ScratchPool` bounds
+both axes:
+
+* **per key** — at most ``max_idle`` free buffers are retained for any
+  ``(shape, dtype)``; surplus releases are dropped (garbage collected);
+* **across keys** — at most ``max_keys`` distinct ``(shape, dtype)``
+  free lists are retained; inserting a new key evicts the least
+  recently *used* key's idle buffers (LRU on acquire/release order).
+
+The pool only tracks *idle* buffers — arrays handed out by
+:meth:`acquire` are owned by the caller until :meth:`release`; dropping
+one on the floor simply lets the GC have it.  All operations are
+lock-protected, so one pool instance may serve many engine threads
+(the threaded stress test hammers exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """LRU-bounded free lists of reusable ``float64``-friendly buffers.
+
+    Parameters
+    ----------
+    max_idle:
+        Cap on idle buffers retained per ``(shape, dtype)`` key.
+    max_keys:
+        Cap on distinct keys with retained idle buffers; exceeding it
+        evicts the least recently used key's whole free list.
+    """
+
+    def __init__(self, *, max_idle: int = 4, max_keys: int = 8):
+        if max_idle < 1:
+            raise ValidationError(f"max_idle must be >= 1, got {max_idle}")
+        if max_keys < 1:
+            raise ValidationError(f"max_keys must be >= 1, got {max_keys}")
+        self.max_idle = int(max_idle)
+        self.max_keys = int(max_keys)
+        self._lock = threading.Lock()
+        # key -> list of idle buffers; OrderedDict gives LRU key order.
+        self._free: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        return (shape, np.dtype(dtype).str)
+
+    def _touch(self, key: tuple) -> list[np.ndarray]:
+        """Mark ``key`` most-recently-used, creating its free list (and
+        evicting the LRU key past ``max_keys``).  Caller holds the lock."""
+        if key in self._free:
+            self._free.move_to_end(key)
+        else:
+            self._free[key] = []
+            while len(self._free) > self.max_keys:
+                self._free.popitem(last=False)  # evict LRU key's idle list
+        return self._free[key]
+
+    # -------------------------------------------------------------- public
+    def acquire(self, shape, dtype=np.float64) -> np.ndarray:
+        """Hand out a buffer of ``shape``/``dtype`` (reused when idle,
+        freshly allocated on a miss)."""
+        key = self._key(shape, dtype)
+        with self._lock:
+            bucket = self._touch(key)
+            if bucket:
+                return bucket.pop()
+        return np.empty(key[0], dtype=np.dtype(dtype))
+
+    def release(self, *arrays: np.ndarray) -> None:
+        """Return buffers to the pool (surplus beyond ``max_idle`` per
+        key is dropped)."""
+        with self._lock:
+            for arr in arrays:
+                key = self._key(arr.shape, arr.dtype)
+                bucket = self._touch(key)
+                if len(bucket) < self.max_idle:
+                    bucket.append(arr)
+
+    def idle(self, shape=None, dtype=np.float64) -> int:
+        """Idle-buffer count for one key (or the grand total)."""
+        with self._lock:
+            if shape is None:
+                return sum(len(b) for b in self._free.values())
+            bucket = self._free.get(self._key(shape, dtype))
+            return len(bucket) if bucket else 0
+
+    @property
+    def keys(self) -> list[tuple]:
+        """Retained ``(shape, dtype)`` keys, LRU first."""
+        with self._lock:
+            return list(self._free)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()

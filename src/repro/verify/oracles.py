@@ -12,6 +12,11 @@ every pair must agree to machine precision on arbitrary probe vectors:
   (:class:`~repro.operators.batched.BatchedFmmp`): the probe rides one
   column of a genuine multi-column block, so column isolation and the
   folded diagonal scalings are checked per probe,
+* ``fmmp-parallel`` — the panel-partitioned shared-memory butterfly
+  (:mod:`repro.transforms.parallel`), exercised with an explicit panel
+  split (and, with ``threads > 1``, real engine workers): the panel
+  engine's contract is *bitwise* identity with the fused serial kernel,
+  so the oracle must also sit inside the machine-precision tier,
 * ``xmvp`` — the XOR-based product of [10] with ``dmax = ν``,
 * ``smvp`` — the dense ``Θ(N²)`` baseline (small ν),
 * ``spectral`` — ``Q·v = V Λ V v`` via the FWHT (uniform model),
@@ -91,8 +96,12 @@ class SolverRoute:
 
 
 # ------------------------------------------------------------ product tier
-def product_oracles(spec: ProblemSpec) -> list[ProductOracle]:
-    """Every product backend applicable to ``spec`` (right form)."""
+def product_oracles(spec: ProblemSpec, *, threads: int = 1) -> list[ProductOracle]:
+    """Every product backend applicable to ``spec`` (right form).
+
+    ``threads`` sizes the panel engine behind the ``fmmp-parallel``
+    oracle (1 still exercises the panel-partitioned kernel, just on the
+    calling thread)."""
     mutation = spec.build_mutation()
     landscape = spec.build_landscape()
     f = landscape.values()
@@ -104,6 +113,9 @@ def product_oracles(spec: ProblemSpec) -> list[ProductOracle]:
             "fmmp-eq10", Fmmp(mutation, landscape, variant="eq10").matvec
         ),
         ProductOracle("fmmp-batched", _batched_matvec(mutation, landscape)),
+        ProductOracle(
+            "fmmp-parallel", _parallel_matvec(mutation, landscape, threads)
+        ),
     ]
     if isinstance(mutation, UniformMutation):
         oracles.append(
@@ -140,6 +152,31 @@ def _batched_matvec(mutation, landscape) -> Callable[[np.ndarray], np.ndarray]:
         v = np.asarray(v, dtype=np.float64)
         block = np.stack([v, -0.5 * v, v + 1.0], axis=1)
         return op.matmat(block)[:, 0].copy()
+
+    return matvec
+
+
+def _parallel_matvec(
+    mutation, landscape, threads: int
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Probe the panel-parallel butterfly engine.
+
+    An explicit panel count (clamped for tiny ν) forces the
+    panel-partitioned sweep schedule even at ``threads = 1``; with more
+    threads the same schedule runs on real barrier-synchronized workers.
+    Either way the result must match the serial kernels to machine
+    precision (the engine's own contract is stronger: bitwise).
+    """
+    op = Fmmp(
+        mutation,
+        landscape,
+        form="right",
+        threads=threads,
+        panels=4 if threads <= 1 else None,
+    )
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        return op.matvec(np.asarray(v, dtype=np.float64))
 
     return matvec
 
@@ -198,13 +235,15 @@ def run_product_oracles(
     *,
     tolerance: float = PRODUCT_TOL,
     probes: int = 3,
+    threads: int = 1,
 ) -> list[CheckResult]:
     """Compare every product backend against the ``fmmp-eq9`` reference.
 
     One :class:`CheckResult` per (reference, other) pair — the registry's
-    *exact-equivalence* tier.
+    *exact-equivalence* tier.  ``threads`` feeds the ``fmmp-parallel``
+    oracle's panel engine.
     """
-    oracles = product_oracles(spec)
+    oracles = product_oracles(spec, threads=threads)
     reference = oracles[0]
     vs = rng.standard_normal((probes, spec.n))
     vs[0] = np.abs(vs[0]) + 1e-3

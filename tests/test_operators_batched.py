@@ -20,7 +20,7 @@ from repro.exceptions import ValidationError
 from repro.landscapes import RandomLandscape, SinglePeakLandscape
 from repro.mutation import GroupedMutation, PerSiteMutation, UniformMutation, site_factor
 from repro.operators import BatchedFmmp, Fmmp
-from repro.operators.fmmp import _ScratchPool
+from repro.util.scratch import ScratchPool
 
 common = settings(max_examples=12, deadline=None)
 
@@ -188,20 +188,21 @@ class TestScratchPoolThreadSafety:
     concurrent matvec calls on one operator corrupted each other."""
 
     def test_pool_acquire_release_cycle(self):
-        pool = _ScratchPool(8)
-        pair = pool.acquire()
-        assert pair[0].shape == (8,) and pair[1].shape == (8,)
-        assert pool.idle == 0
-        pool.release(pair)
-        assert pool.idle == 1
-        assert pool.acquire() is pair  # reuse, no realloc
+        pool = ScratchPool()
+        a = pool.acquire((8,))
+        b = pool.acquire((8,))
+        assert a.shape == (8,) and b.shape == (8,)
+        assert pool.idle((8,)) == 0
+        pool.release(a, b)
+        assert pool.idle((8,)) == 2
+        assert pool.acquire((8,)) is b  # LIFO reuse, no realloc
+        assert pool.acquire((8,)) is a
 
     def test_pool_bounds_idle_buffers(self):
-        pool = _ScratchPool(4, max_idle=2)
-        pairs = [pool.acquire() for _ in range(5)]
-        for pair in pairs:
-            pool.release(pair)
-        assert pool.idle == 2
+        pool = ScratchPool(max_idle=2)
+        arrays = [pool.acquire((4,)) for _ in range(5)]
+        pool.release(*arrays)
+        assert pool.idle((4,)) == 2
 
     def test_concurrent_matvec_is_correct(self):
         nu = 9

@@ -1,0 +1,130 @@
+"""Threaded roofline model tests (:mod:`repro.perf.parallel`).
+
+The model gates the PR's acceptance bar — ``modeled_thread_speedup(18,
+·, 4) >= 1.8`` — so these tests pin both its *physics* (no modeled
+superlinearity, T=1 is exactly the serial roofline, more threads than
+panels buy nothing) and its *plumbing* (byte counts equal the serial
+fused model's, panel resolution matches the kernel's clamp rules).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.perf import (
+    auto_panels,
+    batched_fmmp_costs,
+    modeled_thread_crossover,
+    modeled_thread_speedup,
+    parallel_fmmp_costs,
+)
+from repro.perf.parallel import DEFAULT_HOST, HostModel
+
+
+class TestCosts:
+    def test_bytes_match_serial_fused_model(self):
+        for nu, b in ((10, 1), (14, 4), (18, 16)):
+            par = parallel_fmmp_costs(nu, b, threads=4)
+            assert par.bytes_moved == batched_fmmp_costs(nu, b).bytes_moved
+
+    def test_single_thread_is_exactly_the_serial_roofline(self):
+        par = parallel_fmmp_costs(16, 1, threads=1, panels=1)
+        bw = DEFAULT_HOST.single_core_gbs * 1e9
+        assert par.panels == 1
+        assert par.modeled_time_s == pytest.approx(par.bytes_moved / bw)
+
+    def test_panels_clamped_at_tiny_nu(self):
+        par = parallel_fmmp_costs(2, 1, threads=8)
+        assert par.panels == 1
+
+    def test_critical_bytes_account_for_idle_threads(self):
+        """T > R: extra threads idle, the busiest still moves R/R·⌈R/T⌉
+        of the panels — time must not keep shrinking."""
+        t4 = parallel_fmmp_costs(18, 1, threads=4, panels=4).modeled_time_s
+        t8 = parallel_fmmp_costs(18, 1, threads=8, panels=4).modeled_time_s
+        assert t8 >= t4 * 0.99  # no free lunch past T == R
+
+    def test_barriers_only_charged_when_threaded(self):
+        serial = parallel_fmmp_costs(16, 1, threads=1, panels=4)
+        threaded = parallel_fmmp_costs(16, 1, threads=2, panels=4)
+        assert threaded.sweeps == serial.sweeps
+        assert threaded.modeled_time_s < serial.modeled_time_s
+
+
+class TestSpeedup:
+    def test_unit_at_one_thread(self):
+        assert modeled_thread_speedup(18, 1, 1) == pytest.approx(1.0)
+
+    def test_gate_at_four_threads(self):
+        """The PR's acceptance bar, as modeled for the paper sizes."""
+        for nu in (18, 19, 20):
+            assert modeled_thread_speedup(nu, 1, 4) >= 1.8
+        assert modeled_thread_speedup(18, 16, 4) >= 1.8
+
+    def test_never_superlinear(self):
+        for t in (2, 4, 8, 16):
+            assert modeled_thread_speedup(18, 1, t) <= t
+
+    def test_monotone_in_threads_at_large_nu(self):
+        s2 = modeled_thread_speedup(18, 1, 2)
+        s4 = modeled_thread_speedup(18, 1, 4)
+        assert s4 > s2 > 1.0
+
+    def test_small_nu_is_barrier_dominated(self):
+        """At ν = 2 only R = 1 is admissible — threading is modeled as
+        a strict loss (barrier cost, zero parallel bytes)."""
+        assert modeled_thread_speedup(2, 1, 4) <= 1.0
+
+
+class TestAutoPanels:
+    def test_serial_for_small_transforms(self):
+        for nu in (2, 4, 6, 8):
+            assert auto_panels(nu, 1, threads=4) == 1
+
+    def test_parallel_for_paper_sizes(self):
+        assert auto_panels(18, 1, threads=4) > 1
+        assert auto_panels(20, 16, threads=4) > 1
+
+    def test_one_thread_never_panels(self):
+        assert auto_panels(18, 1, threads=1) == 1
+
+    def test_respects_max_panels_cap(self):
+        from repro.transforms.parallel import max_panels
+
+        assert auto_panels(18, 1, threads=64) <= max_panels(18)
+
+
+class TestCrossover:
+    def test_crossover_at_paper_size(self):
+        t = modeled_thread_crossover(18, 1)
+        assert t is not None
+        assert modeled_thread_speedup(18, 1, t) >= 1.8
+        assert t > 1
+
+    def test_no_crossover_for_tiny_nu(self):
+        assert modeled_thread_crossover(4, 1) is None
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValidationError):
+            modeled_thread_crossover(18, 1, target_speedup=0.0)
+
+
+class TestHostModel:
+    def test_saturation_is_concave_and_bounded(self):
+        host = DEFAULT_HOST
+        assert host.saturation(1) == pytest.approx(1.0)
+        prev = 1.0
+        for t in (2, 4, 8, 16):
+            sat = host.saturation(t)
+            assert prev < sat < t  # grows, but sub-linearly
+            prev = sat
+
+    def test_custom_host_shifts_the_model(self):
+        fast_bus = HostModel(
+            single_core_gbs=DEFAULT_HOST.single_core_gbs,
+            contention=0.0,
+            barrier_s=DEFAULT_HOST.barrier_s,
+        )
+        assert modeled_thread_speedup(18, 1, 4, host=fast_bus) > modeled_thread_speedup(
+            18, 1, 4
+        )
